@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Figure 2: the MK3003MAN operating-mode power values and a scripted
+ * walk through the state machine's transitions.
+ */
+
+#include <iostream>
+
+#include "core/experiment.hh"
+#include "disk/disk.hh"
+#include "sim/event_queue.hh"
+
+using namespace softwatt;
+
+namespace
+{
+
+constexpr double freqHz = 200e6;
+constexpr double timeScale = 100.0;
+
+Tick
+equivSeconds(double s)
+{
+    return Tick(s / timeScale * freqHz);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    (void)parseArgs(argc, argv);
+    DiskPowerSpec power;
+
+    std::cout << "=== Figure 2: MK3003MAN Operating Modes ===\n\n";
+    std::cout << "Mode       Power (W)   [paper]\n";
+    std::cout << "Sleep      " << power.sleepW << "        0.15\n";
+    std::cout << "Idle       " << power.idleW << "         1.6\n";
+    std::cout << "Standby    " << power.standbyW << "        0.35\n";
+    std::cout << "Active     " << power.activeW << "         3.2\n";
+    std::cout << "Seeking    " << power.seekW << "         4.1\n";
+    std::cout << "Spin up    " << power.spinupW << "         4.2\n";
+    std::cout << "Spin up/down time: " << power.spinupSeconds
+              << " s\n\n";
+
+    // Walk the state machine: IDLE -> SEEK -> ACTIVE -> IDLE ->
+    // (threshold) -> SPINDOWN -> STANDBY -> (request) -> SPINUP.
+    EventQueue queue;
+    Disk disk(queue, freqHz, DiskConfig::spindown(2.0), timeScale);
+    std::cout << "State machine walk:\n";
+    std::cout << "  t=0.0s  " << diskStateName(disk.state()) << "\n";
+    disk.submit(4000, 2, [] {});
+    std::cout << "  submit: " << diskStateName(disk.state()) << "\n";
+    queue.runUntil(equivSeconds(1.0));
+    std::cout << "  t=1.0s  " << diskStateName(disk.state())
+              << " (request complete)\n";
+    queue.runUntil(equivSeconds(3.5));
+    std::cout << "  t=3.5s  " << diskStateName(disk.state())
+              << " (2 s threshold expired)\n";
+    queue.runUntil(equivSeconds(8.5));
+    std::cout << "  t=8.5s  " << diskStateName(disk.state()) << "\n";
+    disk.submit(9000, 1, [] {});
+    std::cout << "  submit: " << diskStateName(disk.state())
+              << " (5 s spin-up penalty)\n";
+    queue.runUntil(equivSeconds(15.0));
+    std::cout << "  t=15s   " << diskStateName(disk.state()) << "\n";
+    std::cout << "\nEnergy so far: " << disk.energyJ()
+              << " J; spin-ups: " << disk.spinUps()
+              << ", spin-downs: " << disk.spinDowns() << "\n";
+    return 0;
+}

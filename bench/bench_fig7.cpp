@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Figure 7: the power budget with the IDLE-capable low-power disk:
+ * the disk's share drops (34% -> 23% in the paper) and the power
+ * hotspot shifts to the clock network and the L1 I-cache.
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "core/report.hh"
+
+using namespace softwatt;
+
+int
+main(int argc, char **argv)
+{
+    Config args = parseArgs(argc, argv);
+    SystemConfig config = SystemConfig::fromConfig(args);
+    config.diskConfig = DiskConfig::idleOnly();
+    double scale = args.getDouble("scale", 0.5);
+
+    std::cout << "=== Figure 7: Power Budget, IDLE-capable Disk ===\n"
+                 "(six-benchmark average, scale " << scale
+              << ")\n\n";
+
+    std::vector<PowerBreakdown> managed, conventional;
+    for (Benchmark b : allBenchmarks) {
+        BenchmarkRun run = runBenchmark(b, config, scale);
+        managed.push_back(run.breakdown);
+        conventional.push_back(run.conventional);
+        std::cout << "  [" << run.name << " done]\n";
+    }
+    std::cout << '\n';
+    PowerBreakdown avg_managed = averageBreakdowns(managed);
+    PowerBreakdown avg_conv = averageBreakdowns(conventional);
+    printPowerBudget(std::cout, "With IDLE-capable disk",
+                     avg_managed);
+    std::cout << '\n';
+    std::cout << "Disk share: "
+              << avg_conv.componentSharePct(Component::Disk)
+              << " % (conventional) -> "
+              << avg_managed.componentSharePct(Component::Disk)
+              << " % (IDLE-capable).  Paper: 34 % -> 23 %.\n";
+    return 0;
+}

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Engineering microbenchmarks (google-benchmark): throughput of the
+ * simulator's hot paths — cache tag lookups, TLB searches, the
+ * stream generator, both CPU models, and the disk state machine.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <utility>
+
+#include "cpu/inorder_cpu.hh"
+#include "cpu/stream_gen.hh"
+#include "cpu/superscalar_cpu.hh"
+#include "disk/disk.hh"
+#include "mem/hierarchy.hh"
+#include "os/kernel.hh"
+#include "sim/counter_sink.hh"
+#include "workload/workload.hh"
+
+using namespace softwatt;
+
+namespace
+{
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    CacheParams params{32 * 1024, 64, 2, 1};
+    Cache cache("bm", params);
+    Random rng(1);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            cache.access(rng.below(1 << 20) & ~Addr(7), false));
+    }
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_TlbLookup(benchmark::State &state)
+{
+    Tlb tlb(64);
+    for (int p = 0; p < 64; ++p)
+        tlb.insert(1, Addr(p) * 4096);
+    Random rng(1);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            tlb.lookup(1, rng.below(80) * 4096));
+    }
+}
+BENCHMARK(BM_TlbLookup);
+
+void
+BM_StreamGen(benchmark::State &state)
+{
+    StreamSpec spec;
+    StreamGen gen(spec, 7);
+    MicroOp op;
+    for (auto _ : state) {
+        gen.next(op);
+        benchmark::DoNotOptimize(op);
+    }
+}
+BENCHMARK(BM_StreamGen);
+
+/** Stub kernel serving an infinite stream. */
+class BmKernel : public KernelIface
+{
+  public:
+    StreamGen gen{StreamSpec{}, 3};
+
+    FetchOutcome
+    fetchNext(MicroOp &op) override
+    {
+        auto r = gen.next(op);
+        op.kernelMapped = true;
+        return r;
+    }
+
+    void dataTlbMiss(Addr, std::uint32_t,
+                     std::vector<MicroOp>) override
+    {
+    }
+    void syscall(const MicroOp &) override {}
+    void onCommit(const MicroOp &) override {}
+    bool interruptPending() const override { return false; }
+    void takeInterrupt(std::vector<MicroOp>) override {}
+    void onPipelineEmpty() override {}
+    ExecMode currentStreamMode() const override
+    {
+        return ExecMode::User;
+    }
+    std::uint32_t privilegedTag() const override { return 0; }
+};
+
+void
+BM_SuperscalarCycle(benchmark::State &state)
+{
+    MachineParams machine;
+    CounterSink sink;
+    CacheHierarchy hierarchy(machine, sink);
+    Tlb tlb(64);
+    BmKernel kernel;
+    SuperscalarCpu cpu(machine, hierarchy, tlb, sink, kernel);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(cpu.cycle());
+    state.counters["IPC"] = cpu.ipc();
+}
+BENCHMARK(BM_SuperscalarCycle);
+
+void
+BM_InOrderCycle(benchmark::State &state)
+{
+    MachineParams machine;
+    CounterSink sink;
+    CacheHierarchy hierarchy(machine, sink);
+    Tlb tlb(64);
+    BmKernel kernel;
+    InOrderCpu cpu(machine, hierarchy, tlb, sink, kernel);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(cpu.cycle());
+}
+BENCHMARK(BM_InOrderCycle);
+
+void
+BM_DiskRequest(benchmark::State &state)
+{
+    EventQueue queue;
+    Disk disk(queue, 200e6, DiskConfig::idleOnly(), 100.0);
+    Random rng(1);
+    for (auto _ : state) {
+        bool done = false;
+        disk.submit(rng.below(1 << 20), 4, [&] { done = true; });
+        while (!done)
+            queue.advanceTo(queue.nextEventTick());
+    }
+}
+BENCHMARK(BM_DiskRequest);
+
+void
+BM_WorkloadGen(benchmark::State &state)
+{
+    auto fresh = [] {
+        auto fs = std::make_unique<FileSystem>();
+        auto wl = std::make_unique<Workload>(
+            benchmarkSpec(Benchmark::Jess));
+        wl->registerFiles(*fs);
+        return std::pair(std::move(fs), std::move(wl));
+    };
+    auto [fs, wl] = fresh();
+    MicroOp op;
+    for (auto _ : state) {
+        if (wl->next(op) != FetchOutcome::Op) {
+            // Benchmark outlived the workload: restart it.
+            std::tie(fs, wl) = fresh();
+            wl->next(op);
+        }
+        benchmark::DoNotOptimize(op);
+    }
+}
+BENCHMARK(BM_WorkloadGen);
+
+} // namespace
+
+BENCHMARK_MAIN();

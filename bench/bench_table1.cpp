@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Table 1: the system model configuration, echoed from the live
+ * MachineParams defaults (with any command-line overrides applied).
+ */
+
+#include <iostream>
+
+#include "core/experiment.hh"
+#include "sim/machine_params.hh"
+
+using namespace softwatt;
+
+int
+main(int argc, char **argv)
+{
+    Config args = parseArgs(argc, argv);
+    MachineParams m;
+    m.applyConfig(args);
+
+    std::cout << "=== Table 1: System Model ===\n";
+    std::cout << "Instruction Window Size        " << m.instWindowSize
+              << "\n";
+    std::cout << "Register File                  " << m.intRegs
+              << " INT, " << m.fpRegs << " FP\n";
+    std::cout << "Load/Store Queue               " << m.lsqSize
+              << "\n";
+    std::cout << "Fetch Width per Cycle          " << m.fetchWidth
+              << "\n";
+    std::cout << "Decode Width per Cycle         " << m.decodeWidth
+              << "\n";
+    std::cout << "Issue Width per Cycle          " << m.issueWidth
+              << "\n";
+    std::cout << "Commit Width per Cycle         " << m.commitWidth
+              << "\n";
+    std::cout << "Functional Units               " << m.intAlus
+              << " Ints, " << m.fpAlus << " FP\n";
+    std::cout << "Branch History Table           " << m.bhtEntries
+              << "\n";
+    std::cout << "Branch Target Address Table    " << m.btbEntries
+              << "\n";
+    std::cout << "Return Address Stack           " << m.rasEntries
+              << "\n";
+    std::cout << "Memory Size                    "
+              << m.memorySizeBytes / (1024 * 1024) << " MB\n";
+    std::cout << "Instruction Cache              "
+              << m.icache.sizeBytes / 1024 << "KB, "
+              << m.icache.lineBytes << "B lines, " << m.icache.ways
+              << "-way\n";
+    std::cout << "Data Cache                     "
+              << m.dcache.sizeBytes / 1024 << "KB, "
+              << m.dcache.lineBytes << "B lines, " << m.dcache.ways
+              << "-way\n";
+    std::cout << "Unified L2 Cache               "
+              << m.l2cache.sizeBytes / 1024 << "KB, "
+              << m.l2cache.lineBytes << "B lines, " << m.l2cache.ways
+              << "-way\n";
+    std::cout << "Unified TLB (fully assoc)      " << m.tlbEntries
+              << " entries\n";
+    std::cout << "Feature Size                   " << m.featureSizeUm
+              << " um\n";
+    std::cout << "Vdd                            " << m.vdd << " V\n";
+    std::cout << "Clock                          " << m.freqMhz
+              << " MHz\n";
+    return 0;
+}

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Validation experiment (paper Section 2): SoftWatt configured as an
+ * R10000 reports a maximum CPU power of 25.3 W against the 30 W
+ * datasheet value.
+ */
+
+#include <iostream>
+
+#include "core/experiment.hh"
+#include "power/cpu_power.hh"
+
+using namespace softwatt;
+
+int
+main(int argc, char **argv)
+{
+    Config args = parseArgs(argc, argv);
+    MachineParams machine;
+    machine.applyConfig(args);
+
+    CpuPowerModel calibrated(machine, true);
+    CpuPowerModel analytical(machine, false);
+
+    std::cout << "=== Validation: maximum R10000 CPU power "
+                 "(paper Section 2) ===\n\n";
+    std::cout << "Datasheet maximum power          : 30.0 W\n";
+    std::cout << "Paper's SoftWatt estimate        : 25.3 W\n";
+    std::cout << "This implementation (calibrated) : "
+              << calibrated.maxPowerW() << " W\n";
+    std::cout << "This implementation (analytical) : "
+              << analytical.maxPowerW() << " W\n\n";
+
+    std::cout << "Breakdown (calibrated):\n";
+    std::cout << "  core units : " << calibrated.maxUnitPowerW()
+              << " W\n";
+    std::cout << "  clock      : "
+              << calibrated.clockModel().maxPowerW() << " W\n";
+    std::cout << "  pads/system: "
+              << calibrated.maxPowerW() -
+                     calibrated.maxUnitPowerW() -
+                     calibrated.clockModel().maxPowerW()
+              << " W\n";
+    return 0;
+}

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Quickstart: run one SPEC JVM98-equivalent benchmark on the
+ * complete simulated machine and print its power characterization.
+ *
+ * Usage: quickstart [bench=jess] [scale=0.2] [key=value ...]
+ */
+
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "core/experiment.hh"
+#include "core/report.hh"
+#include "sim/logging.hh"
+
+using namespace softwatt;
+
+int
+main(int argc, char **argv)
+{
+    Config args = parseArgs(argc, argv);
+    SystemConfig config = SystemConfig::fromConfig(args);
+
+    std::string bench_name = args.getString("bench", "jess");
+    Benchmark bench = Benchmark::Jess;
+    for (Benchmark b : allBenchmarks) {
+        if (bench_name == benchmarkName(b))
+            bench = b;
+    }
+
+    double scale = args.getDouble("scale", 0.2);
+    std::cout << "Running " << bench_name << " (scale " << scale
+              << ") on the "
+              << (config.cpuModel == CpuModel::Superscalar
+                      ? "MXS-like superscalar"
+                      : "Mipsy-like in-order")
+              << " model...\n";
+
+    BenchmarkRun run = runBenchmark(bench, config, scale);
+    System &sys = *run.system;
+
+    double freq = sys.powerModel().technology().freqHz();
+    double equiv_s = double(sys.now()) / freq * config.timeScale;
+
+    std::cout << "\nSimulated " << sys.now() << " cycles ("
+              << equiv_s << " paper-equivalent seconds), "
+              << sys.cpu().committedInsts()
+              << " instructions committed, IPC "
+              << sys.cpu().ipc() << "\n";
+    std::cout << "Fast-forwarded " << sys.fastForwardedCycles()
+              << " idle cycles; branch predictor accuracy "
+              << sys.cpu().predictor().accuracy() << "\n\n";
+
+    printPowerBudget(std::cout,
+                     "Power budget (low-power disk, Fig. 7 style)",
+                     run.breakdown);
+    std::cout << '\n';
+    printPowerBudget(std::cout,
+                     "Power budget (conventional disk, Fig. 5 style)",
+                     run.conventional);
+    std::cout << '\n';
+    printModePower(std::cout, "Average power per mode (Fig. 6 style)",
+                   run.breakdown);
+    std::cout << '\n';
+    printTable4(std::cout, run.name,
+                [&] {
+                    std::array<ServiceStats, numServices> all{};
+                    for (ServiceKind k : allServices)
+                        all[int(k)] = sys.kernel().serviceStats(k);
+                    return all;
+                }());
+    std::cout << '\n';
+    {
+        std::array<ServiceStats, numServices> all{};
+        for (ServiceKind k : allServices)
+            all[int(k)] = sys.kernel().serviceStats(k);
+        printTable5(std::cout, all, freq);
+        std::cout << '\n';
+        printServicePower(std::cout, all, freq);
+    }
+    std::cout << "\nDisk energy (this config): " << sys.diskEnergyJ()
+              << " J; as conventional disk: "
+              << sys.diskEnergyConventionalJ() << " J\n";
+    std::cout << "Peak CPU+memory power: "
+              << peakWindowPowerW(sys.powerTrace())
+              << " W (thermal design point)\n";
+    std::cout << "\nPerformance statistics:\n";
+    sys.dumpStats(std::cout);
+
+    // Optional: dump the sampled counter log for external power
+    // passes (the SimOS log-file workflow).
+    std::string csv_path = args.getString("log_csv", "");
+    if (!csv_path.empty()) {
+        std::ofstream csv(csv_path);
+        if (!csv)
+            fatal("cannot open " + csv_path);
+        sys.log().writeCsv(csv);
+        std::cout << "\nSample log written to " << csv_path << "\n";
+    }
+    return 0;
+}

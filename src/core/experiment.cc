@@ -1,0 +1,66 @@
+#include "experiment.hh"
+
+#include "sim/logging.hh"
+
+namespace softwatt
+{
+
+BenchmarkRun
+runBenchmark(Benchmark bench, const SystemConfig &config, double scale)
+{
+    BenchmarkRun run;
+    run.name = benchmarkName(bench);
+    run.system = std::make_unique<System>(config);
+
+    WorkloadSpec spec = benchmarkSpec(bench);
+    if (scale != 1.0)
+        spec = scaleWorkload(spec, scale);
+    run.system->attachWorkload(std::make_unique<Workload>(spec));
+    run.system->run();
+
+    run.breakdown = run.system->breakdown(false);
+    run.conventional = run.system->breakdown(true);
+    return run;
+}
+
+std::vector<BenchmarkRun>
+runSuite(const SystemConfig &config, double scale)
+{
+    std::vector<BenchmarkRun> runs;
+    for (Benchmark b : allBenchmarks)
+        runs.push_back(runBenchmark(b, config, scale));
+    return runs;
+}
+
+PowerBreakdown
+averageBreakdowns(const std::vector<PowerBreakdown> &breakdowns)
+{
+    PowerBreakdown avg;
+    if (breakdowns.empty())
+        return avg;
+    avg.freqHz = breakdowns.front().freqHz;
+    for (const PowerBreakdown &b : breakdowns)
+        avg.accumulate(b);
+    return avg;
+}
+
+Config
+parseArgs(int argc, char **argv)
+{
+    Config config;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            fatal("usage: " + std::string(argv[0]) +
+                  " [key=value ...]\n"
+                  "  e.g. scale=0.1 disk.config=spindown "
+                  "disk.threshold_s=2 cpu.model=mipsy seed=7");
+        }
+        if (!config.parseAssignment(arg))
+            fatal(msg() << "malformed argument '" << arg
+                        << "' (expected key=value)");
+    }
+    return config;
+}
+
+} // namespace softwatt

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Shared experiment driver: run one benchmark on a configuration and
+ * collect everything the table/figure harnesses need.
+ */
+
+#ifndef SOFTWATT_CORE_EXPERIMENT_HH
+#define SOFTWATT_CORE_EXPERIMENT_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "system.hh"
+
+namespace softwatt
+{
+
+/** Results of one benchmark run. */
+struct BenchmarkRun
+{
+    std::string name;
+    std::unique_ptr<System> system;
+
+    /** Totals priced with the run's own disk configuration. */
+    PowerBreakdown breakdown;
+
+    /** Same run re-priced as the conventional (unmanaged) disk. */
+    PowerBreakdown conventional;
+};
+
+/**
+ * Run one benchmark to completion.
+ *
+ * @param bench Which benchmark.
+ * @param config System configuration.
+ * @param scale Workload length scale (1.0 = calibrated size; tests
+ *        and smoke runs use smaller values).
+ */
+BenchmarkRun runBenchmark(Benchmark bench, const SystemConfig &config,
+                          double scale = 1.0);
+
+/** Run the whole six-benchmark suite. */
+std::vector<BenchmarkRun> runSuite(const SystemConfig &config,
+                                   double scale = 1.0);
+
+/** Average of breakdowns (used for the suite-wide Figs. 5-7). */
+PowerBreakdown averageBreakdowns(
+    const std::vector<PowerBreakdown> &breakdowns);
+
+/**
+ * Parse command-line "key=value" overrides into a Config; exits with
+ * a usage message on malformed arguments.
+ */
+Config parseArgs(int argc, char **argv);
+
+} // namespace softwatt
+
+#endif // SOFTWATT_CORE_EXPERIMENT_HH

@@ -1,0 +1,104 @@
+#include "idle_profile.hh"
+
+#include "cpu/inorder_cpu.hh"
+#include "cpu/kernel_iface.hh"
+#include "cpu/stream_gen.hh"
+#include "cpu/superscalar_cpu.hh"
+#include "mem/hierarchy.hh"
+#include "mem/tlb.hh"
+#include "os/service_streams.hh"
+#include "sim/counter_sink.hh"
+
+namespace softwatt
+{
+
+void
+IdleProfile::apply(CounterBank &bank, Cycles cycles) const
+{
+    for (int c = 0; c < numCounters; ++c) {
+        if (CounterId(c) == CounterId::Cycles)
+            continue;  // cycles are exact, not rate-derived
+        double amount = perCycle[c] * double(cycles);
+        if (amount > 0) {
+            bank.addTo(ExecMode::Idle, CounterId(c),
+                       std::uint64_t(amount));
+        }
+    }
+    bank.addTo(ExecMode::Idle, CounterId::Cycles, cycles);
+}
+
+namespace
+{
+
+/** A kernel that only ever runs the idle loop. */
+class IdleOnlyKernel : public KernelIface
+{
+  public:
+    IdleOnlyKernel() : stream(idleLoopSpec(), 0xab1de) {}
+
+    FetchOutcome
+    fetchNext(MicroOp &op) override
+    {
+        return stream.next(op);
+    }
+
+    void
+    dataTlbMiss(Addr, std::uint32_t, std::vector<MicroOp>) override
+    {
+    }
+
+    void syscall(const MicroOp &) override {}
+    void onCommit(const MicroOp &) override {}
+    bool interruptPending() const override { return false; }
+    void takeInterrupt(std::vector<MicroOp>) override {}
+    void onPipelineEmpty() override {}
+    std::uint32_t privilegedTag() const override { return 0; }
+
+    ExecMode
+    currentStreamMode() const override
+    {
+        return ExecMode::Idle;
+    }
+
+  private:
+    StreamGen stream;
+};
+
+} // namespace
+
+IdleProfile
+measureIdleProfile(const MachineParams &machine, bool superscalar,
+                   Cycles warmup, Cycles measure)
+{
+    CounterSink sink;
+    CacheHierarchy hierarchy(machine, sink);
+    Tlb tlb(machine.tlbEntries, machine.pageBytes);
+    IdleOnlyKernel kernel;
+
+    std::unique_ptr<Cpu> cpu;
+    if (superscalar) {
+        cpu = std::make_unique<SuperscalarCpu>(machine, hierarchy, tlb,
+                                               sink, kernel);
+    } else {
+        cpu = std::make_unique<InOrderCpu>(machine, hierarchy, tlb,
+                                           sink, kernel);
+    }
+
+    for (Cycles i = 0; i < warmup; ++i)
+        cpu->cycle();
+    sink.global().clear();
+    for (Cycles i = 0; i < measure; ++i)
+        cpu->cycle();
+
+    IdleProfile profile;
+    const CounterBank &bank = sink.global();
+    for (int c = 0; c < numCounters; ++c) {
+        profile.perCycle[c] =
+            double(bank.get(ExecMode::Idle, CounterId(c))) /
+            double(measure);
+    }
+    profile.perCycle[int(CounterId::Cycles)] = 1.0;
+    return profile;
+}
+
+} // namespace softwatt

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Measured per-cycle behaviour of the idle process.
+ *
+ * The paper observes (Section 3.3) that the idle process's per-cycle
+ * processor and memory-system access behaviour is workload-
+ * independent and can be predicted accurately, which lets disk
+ * spin-ups/spin-downs be simulated by fast-forwarding the requisite
+ * number of cycles. IdleProfile is that prediction: per-cycle counter
+ * rates measured once by running the idle loop in isolation.
+ */
+
+#ifndef SOFTWATT_CORE_IDLE_PROFILE_HH
+#define SOFTWATT_CORE_IDLE_PROFILE_HH
+
+#include <array>
+
+#include "sim/counters.hh"
+#include "sim/machine_params.hh"
+
+namespace softwatt
+{
+
+/** Per-cycle idle-mode counter rates. */
+struct IdleProfile
+{
+    std::array<double, numCounters> perCycle{};
+
+    /** Accumulate @p cycles worth of idle activity into @p bank. */
+    void apply(CounterBank &bank, Cycles cycles) const;
+};
+
+/**
+ * Measure the idle profile by running the idle loop alone on a
+ * scratch instance of the chosen CPU model for @p warmup + @p
+ * measure cycles.
+ */
+IdleProfile measureIdleProfile(const MachineParams &machine,
+                               bool superscalar,
+                               Cycles warmup = 20'000,
+                               Cycles measure = 30'000);
+
+} // namespace softwatt
+
+#endif // SOFTWATT_CORE_IDLE_PROFILE_HH

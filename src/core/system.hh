@@ -1,0 +1,170 @@
+/**
+ * @file
+ * SoftWatt's top level: assembles CPU, memory hierarchy, TLB,
+ * MiniOS kernel and disk into a complete machine, drives the cycle
+ * loop with idle fast-forward, samples the counter log, and exposes
+ * the post-processed power results.
+ */
+
+#ifndef SOFTWATT_CORE_SYSTEM_HH
+#define SOFTWATT_CORE_SYSTEM_HH
+
+#include <iosfwd>
+#include <memory>
+
+#include "cpu/cpu.hh"
+#include "disk/disk.hh"
+#include "mem/hierarchy.hh"
+#include "mem/tlb.hh"
+#include "os/kernel.hh"
+#include "power/cpu_power.hh"
+#include "power/power_calculator.hh"
+#include "sim/config.hh"
+#include "sim/counter_sink.hh"
+#include "sim/event_queue.hh"
+#include "sim/machine_params.hh"
+#include "sim/sample_log.hh"
+#include "workload/workload.hh"
+
+#include "idle_profile.hh"
+
+namespace softwatt
+{
+
+/** Which CPU timing model drives the system. */
+enum class CpuModel
+{
+    InOrder,      ///< Mipsy-equivalent.
+    Superscalar,  ///< MXS-equivalent.
+};
+
+/** Complete configuration of a simulation. */
+struct SystemConfig
+{
+    MachineParams machine;
+    CpuModel cpuModel = CpuModel::Superscalar;
+    DiskConfig diskConfig = DiskConfig::idleOnly();
+    Kernel::Params kernelParams;
+
+    /** Time compression shared by disk timing and clock interrupts. */
+    double timeScale = 100.0;
+
+    /** Sample-log window length in cycles. */
+    Cycles sampleWindow = 100'000;
+
+    /** Use the calibrated power preset (the reproduction path). */
+    bool useCalibratedPower = true;
+
+    /** Consecutive idle-wait cycles before fast-forwarding. */
+    Cycles idleFastForwardAfter = 256;
+
+    /** Watchdog: abort runs longer than this many cycles. */
+    Cycles maxCycles = 4'000'000'000ull;
+
+    /** Enable the periodic timer interrupt. */
+    bool clockInterrupts = true;
+
+    /** Build from a generic key=value Config. */
+    static SystemConfig fromConfig(const Config &config);
+};
+
+/**
+ * A complete simulated machine plus its power models.
+ */
+class System
+{
+  public:
+    explicit System(const SystemConfig &config);
+
+    System(const System &) = delete;
+    System &operator=(const System &) = delete;
+
+    /**
+     * Attach the benchmark: registers its files, pre-maps its heap,
+     * and installs it as the kernel's user program.
+     */
+    void attachWorkload(std::unique_ptr<Workload> workload);
+
+    /** Run to workload completion (fatal on watchdog expiry). */
+    void run();
+
+    /** Current simulated time in cycles. */
+    Tick now() const { return queue.now(); }
+
+    // Results.
+    const SampleLog &log() const { return sampleLog; }
+    const CounterBank &totals() const { return totalsBank; }
+
+    /** Post-process the log into the power trace. */
+    PowerTrace powerTrace() const;
+
+    /**
+     * Totals with disk energy injected. @p conventional_disk reports
+     * the disk as the unmanaged baseline (ACTIVE between requests)
+     * computed from the same run's residencies.
+     */
+    PowerBreakdown breakdown(bool conventional_disk = false) const;
+
+    /** Disk energy in paper-equivalent joules (Figure 9). */
+    double diskEnergyJ() const { return machineDisk->energyJ(); }
+
+    /** Same run re-priced as the unmanaged conventional disk. */
+    double diskEnergyConventionalJ() const;
+
+    Kernel &kernel() { return *machineKernel; }
+    const Kernel &kernel() const { return *machineKernel; }
+    Disk &disk() { return *machineDisk; }
+    Cpu &cpu() { return *machineCpu; }
+    const Cpu &cpu() const { return *machineCpu; }
+    CacheHierarchy &hierarchy() { return *machineHierarchy; }
+    Tlb &tlb() { return *machineTlb; }
+    EventQueue &eventQueue() { return queue; }
+    const CpuPowerModel &powerModel() const { return *power; }
+    const SystemConfig &config() const { return cfg; }
+
+    /** Cycles skipped by idle fast-forward. */
+    Cycles fastForwardedCycles() const { return ffCycles; }
+
+    /** Cycles executed in detail. */
+    Cycles detailedCycles() const { return detailCycles; }
+
+    /**
+     * Dump performance statistics (IPC, miss rates, predictor
+     * accuracy, TLB/service/disk activity) in gem5-style
+     * "name value # description" lines.
+     */
+    void dumpStats(std::ostream &out) const;
+
+  private:
+    SystemConfig cfg;
+    EventQueue queue;
+    CounterSink sink;
+    std::unique_ptr<CacheHierarchy> machineHierarchy;
+    std::unique_ptr<Tlb> machineTlb;
+    std::unique_ptr<Disk> machineDisk;
+    std::unique_ptr<Kernel> machineKernel;
+    std::unique_ptr<Cpu> machineCpu;
+    std::unique_ptr<CpuPowerModel> power;
+    std::unique_ptr<PowerCalculator> calculator;
+    std::unique_ptr<Workload> workload;
+
+    SampleLog sampleLog;
+    CounterBank totalsBank;
+    Tick windowStart = 0;
+
+    IdleProfile idleProfile;
+    bool idleProfileMeasured = false;
+
+    Cycles ffCycles = 0;
+    Cycles detailCycles = 0;
+
+    /** Close the current sample window at @p end_tick. */
+    void closeWindow(Tick end_tick);
+
+    /** Skip ahead to the next event, charging bulk idle activity. */
+    void fastForwardToNextEvent();
+};
+
+} // namespace softwatt
+
+#endif // SOFTWATT_CORE_SYSTEM_HH

@@ -1,0 +1,90 @@
+#include "branch_predictor.hh"
+
+namespace softwatt
+{
+
+BranchPredictor::BranchPredictor(const MachineParams &params,
+                                 CounterSink &sink)
+    : sink(sink), bht(params.bhtEntries, 1),
+      btb(params.btbEntries), ras(params.rasEntries, 0)
+{
+}
+
+std::size_t
+BranchPredictor::bhtIndex(Addr pc) const
+{
+    return (pc >> 2) & (bht.size() - 1);
+}
+
+std::size_t
+BranchPredictor::btbIndex(Addr pc) const
+{
+    return (pc >> 2) & (btb.size() - 1);
+}
+
+bool
+BranchPredictor::predictAndTrain(const MicroOp &op)
+{
+    ++numLookups;
+    bool correct = true;
+
+    if (op.isReturn) {
+        // Return address stack pop.
+        sink.add(op.mode, CounterId::RasRef, 1, op.frameTag);
+        Addr predicted = 0;
+        if (rasDepth > 0) {
+            rasTop = (rasTop + int(ras.size()) - 1) % int(ras.size());
+            predicted = ras[rasTop];
+            --rasDepth;
+        }
+        correct = (predicted == op.target);
+    } else {
+        // Direction from the BHT.
+        sink.add(op.mode, CounterId::BhtRef, 1, op.frameTag);
+        std::uint8_t &counter = bht[bhtIndex(op.pc)];
+        bool pred_taken = counter >= 2;
+        if (pred_taken != op.taken)
+            correct = false;
+
+        // Train the two-bit counter.
+        if (op.taken) {
+            if (counter < 3)
+                ++counter;
+        } else {
+            if (counter > 0)
+                --counter;
+        }
+
+        // Target from the BTB for taken branches.
+        if (op.taken) {
+            sink.add(op.mode, CounterId::BtbRef, 1, op.frameTag);
+            BtbEntry &entry = btb[btbIndex(op.pc)];
+            if (!entry.valid || entry.tag != op.pc ||
+                entry.target != op.target) {
+                if (pred_taken)
+                    correct = false;  // direction right, target wrong
+                entry.tag = op.pc;
+                entry.target = op.target;
+                entry.valid = true;
+            }
+        }
+    }
+
+    if (op.isCall) {
+        // Push the return address.
+        sink.add(op.mode, CounterId::RasRef, 1, op.frameTag);
+        ras[rasTop] = op.pc + 4;
+        rasTop = (rasTop + 1) % int(ras.size());
+        if (rasDepth < int(ras.size()))
+            ++rasDepth;
+    }
+
+    if (!correct)
+        ++numMispredicts;
+    sink.add(op.mode, CounterId::BranchInsts, 1, op.frameTag);
+    if (!correct)
+        sink.add(op.mode, CounterId::BranchMispred, 1, op.frameTag);
+    return correct;
+}
+
+} // namespace softwatt

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Branch prediction per Table 1: a 1024-entry two-bit branch history
+ * table, a 1024-entry branch target buffer, and a 32-entry return
+ * address stack.
+ */
+
+#ifndef SOFTWATT_CPU_BRANCH_PREDICTOR_HH
+#define SOFTWATT_CPU_BRANCH_PREDICTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/counter_sink.hh"
+#include "sim/machine_params.hh"
+#include "sim/types.hh"
+
+#include "inst.hh"
+
+namespace softwatt
+{
+
+/**
+ * BHT + BTB + RAS predictor.
+ *
+ * Since SoftWatt never fetches wrong-path instructions (mispredicts
+ * charge a fetch-redirect penalty instead), the predictor's job is to
+ * decide whether the prediction of a branch would have been correct,
+ * to keep its tables trained, and to charge the power counters for
+ * every consulted structure.
+ */
+class BranchPredictor
+{
+  public:
+    BranchPredictor(const MachineParams &params, CounterSink &sink);
+
+    /**
+     * Predict-and-train for one fetched branch.
+     *
+     * @param op The branch (actual direction/target known).
+     * @return True if the prediction matched direction and target.
+     */
+    bool predictAndTrain(const MicroOp &op);
+
+    std::uint64_t lookups() const { return numLookups; }
+    std::uint64_t mispredicts() const { return numMispredicts; }
+
+    /** Prediction accuracy in [0,1]. */
+    double
+    accuracy() const
+    {
+        return numLookups
+                   ? 1.0 - double(numMispredicts) / double(numLookups)
+                   : 1.0;
+    }
+
+  private:
+    CounterSink &sink;
+    std::vector<std::uint8_t> bht;   ///< 2-bit saturating counters.
+    struct BtbEntry
+    {
+        Addr tag = 0;
+        Addr target = 0;
+        bool valid = false;
+    };
+    std::vector<BtbEntry> btb;
+    std::vector<Addr> ras;
+    int rasTop = 0;
+    int rasDepth = 0;
+
+    std::uint64_t numLookups = 0;
+    std::uint64_t numMispredicts = 0;
+
+    std::size_t bhtIndex(Addr pc) const;
+    std::size_t btbIndex(Addr pc) const;
+};
+
+} // namespace softwatt
+
+#endif // SOFTWATT_CPU_BRANCH_PREDICTOR_HH

@@ -1,0 +1,25 @@
+#include "cpu.hh"
+
+namespace softwatt
+{
+
+Cpu::Cpu(const MachineParams &params, CacheHierarchy &hierarchy,
+         Tlb &tlb, CounterSink &sink, KernelIface &kernel)
+    : params(params), hierarchy(hierarchy), tlb(tlb), sink(sink),
+      kernel(kernel), bpred(params, sink)
+{
+}
+
+bool
+Cpu::dataTlbLookup(const MicroOp &op)
+{
+    if (op.kernelMapped)
+        return true;
+    sink.add(op.mode, CounterId::TlbRef, 1, op.frameTag);
+    if (tlb.lookup(op.asid, op.memAddr))
+        return true;
+    sink.add(op.mode, CounterId::TlbMiss, 1, op.frameTag);
+    return false;
+}
+
+} // namespace softwatt

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * The dynamic instruction abstraction flowing through the timing
+ * models.
+ *
+ * SoftWatt workloads are synthetic instruction streams (see
+ * src/workload): each MicroOp carries everything the timing and power
+ * models consume — class, PC, register operands for dependence
+ * tracking, effective address for the cache/TLB models, branch
+ * outcome for the predictor, and the execution mode it is attributed
+ * to.
+ */
+
+#ifndef SOFTWATT_CPU_INST_HH
+#define SOFTWATT_CPU_INST_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace softwatt
+{
+
+/** Operation classes distinguished by the timing/power models. */
+enum class InstClass : std::uint8_t
+{
+    IntAlu = 0,
+    FpAlu,
+    Load,
+    Store,
+    Branch,
+    Syscall,
+    Nop,
+};
+
+/** Register id meaning "no operand". */
+constexpr std::uint8_t noReg = 0xff;
+
+/** Number of architectural registers visible to the streams. */
+constexpr int numArchRegs = 64;
+
+/**
+ * One dynamic instruction.
+ */
+struct MicroOp
+{
+    Addr pc = 0;
+    Addr memAddr = 0;          ///< Loads/stores: virtual address.
+    Addr target = 0;           ///< Branches: actual target.
+    std::uint64_t syscallArg = 0;
+
+    InstClass cls = InstClass::IntAlu;
+    ExecMode mode = ExecMode::User;
+    std::uint8_t srcA = noReg;
+    std::uint8_t srcB = noReg;
+    std::uint8_t dst = noReg;
+
+    std::uint16_t syscallId = 0;
+    std::uint32_t asid = 0;    ///< Address space for TLB lookups.
+
+    /** Service-invocation tag for per-invocation accounting. */
+    std::uint32_t frameTag = 0;
+
+    bool taken = false;        ///< Branches: actual direction.
+    bool isCall = false;
+    bool isReturn = false;
+
+    /** Kernel/idle streams run unmapped (KSEG0) — no TLB lookups. */
+    bool kernelMapped = false;
+
+    bool isMemOp() const
+    {
+        return cls == InstClass::Load || cls == InstClass::Store;
+    }
+
+    bool isBranch() const { return cls == InstClass::Branch; }
+};
+
+/** What a fetch attempt produced. */
+enum class FetchOutcome
+{
+    Op,     ///< An instruction was produced.
+    Stall,  ///< Nothing to fetch this cycle (transient).
+    End,    ///< The simulation's workload is complete.
+};
+
+/**
+ * Producer of dynamic instructions.
+ *
+ * Implemented by workload programs, kernel service generators and
+ * the idle loop; the OS multiplexes them behind KernelIface.
+ */
+class InstSource
+{
+  public:
+    virtual ~InstSource() = default;
+
+    /** Produce the next instruction of this stream. */
+    virtual FetchOutcome next(MicroOp &op) = 0;
+};
+
+} // namespace softwatt
+
+#endif // SOFTWATT_CPU_INST_HH

@@ -1,0 +1,429 @@
+#include "superscalar_cpu.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace softwatt
+{
+
+SuperscalarCpu::SuperscalarCpu(const MachineParams &params,
+                               CacheHierarchy &hierarchy, Tlb &tlb,
+                               CounterSink &sink, KernelIface &kernel)
+    : Cpu(params, hierarchy, tlb, sink, kernel)
+{
+}
+
+bool
+SuperscalarCpu::pipelineEmpty() const
+{
+    return rob.empty() && fetchQueue.empty();
+}
+
+SuperscalarCpu::Entry *
+SuperscalarCpu::entryBySeq(std::uint64_t seq)
+{
+    if (rob.empty() || seq < rob.front().seq ||
+        seq > rob.back().seq) {
+        return nullptr;
+    }
+    return &rob[seq - rob.front().seq];
+}
+
+bool
+SuperscalarCpu::depSatisfied(std::uint64_t dep)
+{
+    if (dep == 0)
+        return true;
+    Entry *producer = entryBySeq(dep);
+    return producer == nullptr ||
+           producer->state == EntryState::Completed;
+}
+
+void
+SuperscalarCpu::rebuildProducers()
+{
+    regProducer.fill(0);
+    for (const Entry &entry : rob) {
+        if (entry.op.dst != noReg &&
+            entry.state != EntryState::Completed) {
+            regProducer[entry.op.dst] = entry.seq;
+        }
+    }
+}
+
+std::vector<MicroOp>
+SuperscalarCpu::squashFrom(std::uint64_t from_seq)
+{
+    std::vector<MicroOp> replay;
+    while (!rob.empty() && rob.back().seq >= from_seq) {
+        replay.push_back(rob.back().op);
+        rob.pop_back();
+    }
+    std::reverse(replay.begin(), replay.end());
+    for (const FetchedOp &fetched : fetchQueue)
+        replay.push_back(fetched.op);
+    fetchQueue.clear();
+
+    if (fetchBlockedOnBranch >= from_seq)
+        fetchBlockedOnBranch = 0;
+    if (blockedSyscallSeq >= from_seq)
+        blockedSyscallSeq = 0;
+    // Reuse the squashed sequence numbers so entryBySeq's contiguous
+    // index arithmetic stays valid (replays are re-dispatched).
+    nextSeq = from_seq;
+    rebuildProducers();
+    return replay;
+}
+
+std::vector<MicroOp>
+SuperscalarCpu::squashAllCollect()
+{
+    std::vector<MicroOp> replay =
+        rob.empty() ? std::vector<MicroOp>{}
+                    : squashFrom(rob.front().seq);
+    if (rob.empty() && replay.empty() && !fetchQueue.empty()) {
+        for (const FetchedOp &f : fetchQueue)
+            replay.push_back(f.op);
+        fetchQueue.clear();
+    }
+    squashAll();
+    return replay;
+}
+
+void
+SuperscalarCpu::squashAll()
+{
+    rob.clear();
+    fetchQueue.clear();
+    regProducer.fill(0);
+    fetchBlockedOnBranch = 0;
+    blockedSyscallSeq = 0;
+    fetchBusyUntil = 0;
+}
+
+void
+SuperscalarCpu::doCommit()
+{
+    int committed = 0;
+    while (committed < params.commitWidth && !rob.empty() &&
+           rob.front().state == EntryState::Completed) {
+        Entry entry = rob.front();
+        rob.pop_front();
+        ++committed;
+        ++totalCommitted;
+        sink.add(entry.op.mode, CounterId::CommittedInsts, 1,
+                 entry.op.frameTag);
+        if (regProducer[entry.op.dst != noReg ? entry.op.dst : 0] ==
+                entry.seq &&
+            entry.op.dst != noReg) {
+            regProducer[entry.op.dst] = 0;
+        }
+        if (entry.op.cls == InstClass::Syscall) {
+            if (blockedSyscallSeq == entry.seq)
+                blockedSyscallSeq = 0;
+            kernel.syscall(entry.op);
+        }
+        kernel.onCommit(entry.op);
+    }
+    if (committed > 0) {
+        sink.add(sink.cycleMode(), CounterId::CommitCycles, 1,
+                 sink.cycleTag());
+    }
+}
+
+void
+SuperscalarCpu::doWriteback()
+{
+    for (Entry &entry : rob) {
+        if (entry.state == EntryState::Issued &&
+            entry.completeAt <= now) {
+            entry.state = EntryState::Completed;
+            if (entry.op.dst != noReg) {
+                sink.add(entry.op.mode, CounterId::RegFileWrite, 1,
+                         entry.op.frameTag);
+                sink.add(entry.op.mode, CounterId::ResultBusOp, 1,
+                         entry.op.frameTag);
+            }
+            if (entry.mispredicted &&
+                fetchBlockedOnBranch == entry.seq) {
+                fetchBlockedOnBranch = 0;  // redirect resolved
+            }
+        }
+    }
+}
+
+bool
+SuperscalarCpu::doIssue()
+{
+    int issued = 0;
+    int int_units = params.intAlus;
+    int fp_units = params.fpAlus;
+    int mem_ports = 2;
+    int scanned = 0;
+
+    for (Entry &entry : rob) {
+        if (issued >= params.issueWidth || ++scanned > issueScanLimit)
+            break;
+        if (entry.state != EntryState::Waiting)
+            continue;
+        if (!depSatisfied(entry.depA) || !depSatisfied(entry.depB))
+            continue;
+
+        const MicroOp &op = entry.op;
+        switch (op.cls) {
+          case InstClass::IntAlu:
+          case InstClass::Branch:
+            if (int_units == 0)
+                continue;
+            break;
+          case InstClass::FpAlu:
+            if (fp_units == 0)
+                continue;
+            break;
+          case InstClass::Load:
+          case InstClass::Store:
+            if (mem_ports == 0)
+                continue;
+            break;
+          default:
+            break;
+        }
+
+        // Register file reads and wakeup/select on issue.
+        int reads = (op.srcA != noReg) + (op.srcB != noReg);
+        if (reads)
+            sink.add(op.mode, CounterId::RegFileRead, reads,
+                     op.frameTag);
+        sink.add(op.mode, CounterId::IssueWindowOp, 1, op.frameTag);
+
+        std::uint64_t latency = 1;
+        switch (op.cls) {
+          case InstClass::IntAlu:
+            --int_units;
+            sink.add(op.mode, CounterId::IntAluOp, 1, op.frameTag);
+            break;
+          case InstClass::Branch:
+            --int_units;
+            break;
+          case InstClass::FpAlu:
+            --fp_units;
+            sink.add(op.mode, CounterId::FpAluOp, 1, op.frameTag);
+            latency = fpLatency;
+            break;
+          case InstClass::Load:
+          case InstClass::Store: {
+            --mem_ports;
+            sink.add(op.mode, CounterId::LsqOp, 1, op.frameTag);
+            bool is_store = op.cls == InstClass::Store;
+            MemAccessOutcome data = hierarchy.dataAccess(
+                op.memAddr, is_store, op.mode, op.frameTag);
+            sink.add(op.mode, is_store ? CounterId::StoreInsts
+                                       : CounterId::LoadInsts,
+                     1, op.frameTag);
+            latency = is_store ? 1 : std::uint64_t(data.latency);
+            break;
+          }
+          default:
+            break;
+        }
+
+        entry.state = EntryState::Issued;
+        entry.completeAt = now + latency;
+        ++issued;
+    }
+    return false;
+}
+
+bool
+SuperscalarCpu::doDispatch()
+{
+    int dispatched = 0;
+    while (dispatched < params.decodeWidth && !fetchQueue.empty() &&
+           int(rob.size()) < params.instWindowSize) {
+        FetchedOp fetched = fetchQueue.front();
+        fetchQueue.pop_front();
+
+        // Software-managed TLB: probe at dispatch (the effective
+        // address is available). A miss is a precise exception: the
+        // faulting instruction waits at dispatch until every older
+        // instruction has committed, then traps — so the refill
+        // handler runs unoverlapped, as on the R10000.
+        if (fetched.op.isMemOp() && !fetched.tlbProbed) {
+            fetched.tlbProbed = true;
+            fetched.tlbMissed = !dataTlbLookup(fetched.op);
+        }
+        if (fetched.tlbMissed) {
+            if (!rob.empty()) {
+                // Hold at dispatch while older work drains.
+                fetchQueue.push_front(fetched);
+                return false;
+            }
+            std::vector<MicroOp> replay;
+            replay.push_back(fetched.op);
+            for (const FetchedOp &f : fetchQueue)
+                replay.push_back(f.op);
+            fetchQueue.clear();
+            if (blockedSyscallSeq == ~std::uint64_t(0))
+                blockedSyscallSeq = 0;
+            kernel.dataTlbMiss(fetched.op.memAddr, fetched.op.asid,
+                               std::move(replay));
+            return true;
+        }
+
+        Entry entry;
+        entry.op = fetched.op;
+        entry.seq = nextSeq++;
+        entry.mispredicted = fetched.mispredicted;
+        if (fetched.mispredicted && fetchBlockedOnBranch == 0)
+            fetchBlockedOnBranch = entry.seq;
+
+        if (entry.op.srcA != noReg)
+            entry.depA = regProducer[entry.op.srcA];
+        if (entry.op.srcB != noReg)
+            entry.depB = regProducer[entry.op.srcB];
+        if (entry.op.dst != noReg)
+            regProducer[entry.op.dst] = entry.seq;
+
+        sink.add(entry.op.mode, CounterId::RenameOp, 1,
+                 entry.op.frameTag);
+        sink.add(entry.op.mode, CounterId::IssueWindowOp, 1,
+                 entry.op.frameTag);  // insert
+        if (entry.op.isMemOp()) {
+            sink.add(entry.op.mode, CounterId::LsqOp, 1,
+                     entry.op.frameTag);  // allocate
+        }
+
+        rob.push_back(entry);
+        ++dispatched;
+    }
+    return false;
+}
+
+void
+SuperscalarCpu::doFetch()
+{
+    if (now < fetchBusyUntil)
+        return;
+    if (fetchBlockedOnBranch != 0) {
+        ++mispredStalls;
+        return;
+    }
+    if (blockedSyscallSeq != 0 || sourceEnded)
+        return;
+
+    int fetched = 0;
+    while (fetched < params.fetchWidth &&
+           int(fetchQueue.size()) < fetchQueueCap) {
+        MicroOp op;
+        FetchOutcome outcome = kernel.fetchNext(op);
+        if (outcome == FetchOutcome::End) {
+            sourceEnded = true;
+            return;
+        }
+        if (outcome == FetchOutcome::Stall)
+            return;
+
+        sink.add(op.mode, CounterId::FetchedInsts, 1, op.frameTag);
+        MemAccessOutcome fetch_mem =
+            hierarchy.ifetch(op.pc, op.mode, op.frameTag);
+
+        FetchedOp entry;
+        entry.op = op;
+
+        bool stop = false;
+        if (fetch_mem.latency > 1) {
+            // I-cache miss: fetch is blocked for the walk.
+            fetchBusyUntil = now + std::uint64_t(fetch_mem.latency) - 1;
+            stop = true;
+        }
+
+        if (op.isBranch()) {
+            bool correct = bpred.predictAndTrain(op);
+            if (!correct) {
+                entry.mispredicted = true;
+                stop = true;  // redirect once the branch resolves
+            } else if (op.taken) {
+                stop = true;  // fetch break at taken branch
+            }
+        }
+
+        if (op.cls == InstClass::Syscall) {
+            // Serialize: stop fetching until the syscall commits.
+            fetchQueue.push_back(entry);
+            ++fetched;
+            blockedSyscallSeq = ~std::uint64_t(0);  // fixed at dispatch
+            break;
+        }
+
+        fetchQueue.push_back(entry);
+        ++fetched;
+        if (stop)
+            break;
+    }
+}
+
+bool
+SuperscalarCpu::cycle()
+{
+    ++now;
+    ++totalCycles;
+
+    // Cycle attribution: while the machine is architecturally in
+    // kernel mode (trap taken, service not yet complete), cycles
+    // belong to the kernel and to the active service invocation;
+    // otherwise to the oldest instruction in flight.
+    const MicroOp *oldest =
+        !rob.empty() ? &rob.front().op
+                     : (!fetchQueue.empty() ? &fetchQueue.front().op
+                                            : nullptr);
+    std::uint32_t ptag = kernel.privilegedTag();
+    if (ptag != 0 && oldest && oldest->mode != ExecMode::User &&
+        oldest->mode != ExecMode::Idle) {
+        // In kernel mode with kernel work at the commit point:
+        // charge the active service invocation.
+        sink.setCycleMode(oldest->mode, ptag);
+    } else if (oldest) {
+        sink.setCycleMode(oldest->mode, oldest->frameTag);
+    } else {
+        sink.setCycleMode(kernel.currentStreamMode(), 0);
+    }
+    sink.addCycle();
+
+    if (kernel.interruptPending() && blockedSyscallSeq == 0) {
+        std::vector<MicroOp> replay =
+            rob.empty() ? std::vector<MicroOp>{}
+                        : squashFrom(rob.front().seq);
+        if (rob.empty() && replay.empty() && !fetchQueue.empty()) {
+            for (const FetchedOp &f : fetchQueue)
+                replay.push_back(f.op);
+            fetchQueue.clear();
+        }
+        kernel.takeInterrupt(std::move(replay));
+    }
+
+    doCommit();
+    doWriteback();
+    bool trapped = doIssue();
+    if (!trapped)
+        trapped = doDispatch();
+    if (!trapped)
+        doFetch();
+
+    // Fix up the syscall-serialization seq now that dispatch ran.
+    if (blockedSyscallSeq == ~std::uint64_t(0)) {
+        for (const Entry &entry : rob) {
+            if (entry.op.cls == InstClass::Syscall)
+                blockedSyscallSeq = entry.seq;
+        }
+        // Still in the fetch queue: keep the sentinel; dispatch will
+        // run again next cycle.
+    }
+
+    if (pipelineEmpty())
+        kernel.onPipelineEmpty();
+
+    return !(sourceEnded && pipelineEmpty());
+}
+
+} // namespace softwatt

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * MXS-equivalent CPU: a MIPS R10000-like out-of-order superscalar
+ * (Table 1: 4-wide fetch/decode/issue/commit, 64-entry instruction
+ * window, 32-entry load/store queue, 2 INT + 2 FP units, BHT/BTB/RAS
+ * branch prediction).
+ */
+
+#ifndef SOFTWATT_CPU_SUPERSCALAR_CPU_HH
+#define SOFTWATT_CPU_SUPERSCALAR_CPU_HH
+
+#include <deque>
+
+#include "cpu.hh"
+
+namespace softwatt
+{
+
+/**
+ * Out-of-order superscalar timing model.
+ *
+ * The instruction window is modeled as a unified ROB/issue structure:
+ * instructions dispatch in order, issue out of order when their
+ * source producers have completed and a functional unit is free, and
+ * commit in order. Mispredicted branches stall fetch until they
+ * resolve (no wrong-path instructions are consumed from the stream;
+ * the redirect penalty is charged instead). Data TLB misses squash
+ * the faulting instruction and everything younger, handing them back
+ * to the kernel for replay after the utlb handler — the MIPS
+ * software-managed TLB protocol.
+ */
+class SuperscalarCpu : public Cpu
+{
+  public:
+    SuperscalarCpu(const MachineParams &params,
+                   CacheHierarchy &hierarchy, Tlb &tlb,
+                   CounterSink &sink, KernelIface &kernel);
+
+    bool cycle() override;
+    void squashAll() override;
+    bool pipelineEmpty() const override;
+    std::vector<MicroOp> squashAllCollect() override;
+
+    /** Cycles in which fetch was blocked on a mispredicted branch. */
+    std::uint64_t mispredictStallCycles() const { return mispredStalls; }
+
+  private:
+    enum class EntryState : std::uint8_t
+    {
+        Waiting,
+        Issued,
+        Completed,
+    };
+
+    struct Entry
+    {
+        MicroOp op;
+        std::uint64_t seq = 0;
+        std::uint64_t depA = 0;    ///< Producer seq of srcA (0 none).
+        std::uint64_t depB = 0;
+        std::uint64_t completeAt = 0;
+        EntryState state = EntryState::Waiting;
+        bool mispredicted = false;
+    };
+
+    std::deque<Entry> rob;
+    struct FetchedOp
+    {
+        MicroOp op;
+        bool mispredicted = false;
+        bool tlbProbed = false;   ///< TLB already consulted once.
+        bool tlbMissed = false;   ///< Probe result (valid if probed).
+    };
+    std::deque<FetchedOp> fetchQueue;
+
+    /** Latest in-flight producer of each architectural register. */
+    std::array<std::uint64_t, numArchRegs> regProducer{};
+
+    std::uint64_t nextSeq = 1;
+    std::uint64_t now = 0;
+
+    std::uint64_t fetchBusyUntil = 0;       ///< I-cache miss stall.
+    std::uint64_t fetchBlockedOnBranch = 0; ///< Seq of branch, 0 none.
+    std::uint64_t blockedSyscallSeq = 0;    ///< Seq of syscall, 0 none.
+    bool sourceEnded = false;
+
+    std::uint64_t mispredStalls = 0;
+
+    static constexpr int fetchQueueCap = 16;
+    static constexpr int issueScanLimit = 32;
+    static constexpr int fpLatency = 3;
+
+    /** Entry lookup by sequence number; nullptr if committed/absent. */
+    Entry *entryBySeq(std::uint64_t seq);
+
+    /** True when the producer of @p dep has completed (or retired). */
+    bool depSatisfied(std::uint64_t dep);
+
+    /**
+     * Remove every instruction with seq >= @p from_seq plus the whole
+     * fetch queue, returning their MicroOps in program order.
+     */
+    std::vector<MicroOp> squashFrom(std::uint64_t from_seq);
+
+    void rebuildProducers();
+
+    void doCommit();
+    void doWriteback();
+    /** @return True if a trap was raised (cycle must end). */
+    bool doIssue();
+    /** @return True if a dispatch-time TLB miss trapped. */
+    bool doDispatch();
+    void doFetch();
+};
+
+} // namespace softwatt
+
+#endif // SOFTWATT_CPU_SUPERSCALAR_CPU_HH

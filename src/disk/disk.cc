@@ -1,0 +1,295 @@
+#include "disk.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace softwatt
+{
+
+const char *
+diskStateName(DiskState s)
+{
+    switch (s) {
+      case DiskState::Sleep: return "SLEEP";
+      case DiskState::Standby: return "STANDBY";
+      case DiskState::SpinningDown: return "SPINDOWN";
+      case DiskState::SpinningUp: return "SPINUP";
+      case DiskState::Idle: return "IDLE";
+      case DiskState::Active: return "ACTIVE";
+      case DiskState::Seeking: return "SEEK";
+    }
+    panic("diskStateName: invalid state");
+}
+
+DiskTimingSpec
+DiskTimingSpec::hp97560()
+{
+    DiskTimingSpec t;
+    t.trackToTrackMs = 2.5;
+    t.avgSeekMs = 13.5;
+    t.rpm = 4002.0;
+    t.transferMbPerS = 2.2;
+    return t;
+}
+
+DiskTimingSpec
+DiskTimingSpec::mk3003man()
+{
+    return DiskTimingSpec{};
+}
+
+DiskConfig
+DiskConfig::conventional()
+{
+    return DiskConfig{DiskConfigKind::Conventional, 0};
+}
+
+DiskConfig
+DiskConfig::idleOnly()
+{
+    return DiskConfig{DiskConfigKind::IdleOnly, 0};
+}
+
+DiskConfig
+DiskConfig::spindown(double threshold_seconds)
+{
+    return DiskConfig{DiskConfigKind::Spindown, threshold_seconds};
+}
+
+const char *
+DiskConfig::name() const
+{
+    switch (kind) {
+      case DiskConfigKind::Conventional:
+        return "Baseline";
+      case DiskConfigKind::IdleOnly:
+        return "Without Spindowns";
+      case DiskConfigKind::Spindown:
+        return spindownThresholdSeconds <= 2.0
+                   ? "With 2 Sec. Spindown"
+                   : "With 4 Sec. Spindown";
+    }
+    panic("DiskConfig::name: invalid kind");
+}
+
+Disk::Disk(EventQueue &queue, double freq_hz, const DiskConfig &config,
+           double time_scale, std::uint64_t seed)
+    : queue(queue), freqHz(freq_hz), cfg(config), timeScale(time_scale),
+      rng(seed),
+      currentState(config.kind == DiskConfigKind::Conventional
+                       ? DiskState::Active
+                       : DiskState::Idle),
+      lastTransition(queue.now())
+{
+    if (time_scale <= 0)
+        fatal("disk time_scale must be positive");
+}
+
+double
+Disk::statePowerW(DiskState s) const
+{
+    switch (s) {
+      case DiskState::Sleep: return power.sleepW;
+      case DiskState::Standby: return power.standbyW;
+      case DiskState::SpinningDown: return 0;  // free, per the paper
+      case DiskState::SpinningUp: return power.spinupW;
+      case DiskState::Idle:
+        // The conventional disk has no IDLE mode: it keeps spinning
+        // at ACTIVE power between requests.
+        return cfg.kind == DiskConfigKind::Conventional ? power.activeW
+                                                        : power.idleW;
+      case DiskState::Active: return power.activeW;
+      case DiskState::Seeking: return power.seekW;
+    }
+    panic("statePowerW: invalid state");
+}
+
+Tick
+Disk::ticksFor(double seconds) const
+{
+    double ticks = seconds / timeScale * freqHz;
+    return ticks < 1 ? 1 : Tick(ticks);
+}
+
+void
+Disk::transitionTo(DiskState next)
+{
+    Tick now = queue.now();
+    double sim_seconds = double(now - lastTransition) / freqHz;
+    double equiv_seconds = sim_seconds * timeScale;
+    accumulatedJ += statePowerW(currentState) * equiv_seconds;
+    stateSecondsAcc[int(currentState)] += equiv_seconds;
+    currentState = next;
+    lastTransition = now;
+}
+
+double
+Disk::energyJ() const
+{
+    double sim_seconds =
+        double(queue.now() - lastTransition) / freqHz;
+    return accumulatedJ +
+           statePowerW(currentState) * sim_seconds * timeScale;
+}
+
+double
+Disk::stateSeconds(DiskState s) const
+{
+    double extra = 0;
+    if (s == currentState) {
+        extra = double(queue.now() - lastTransition) / freqHz *
+                timeScale;
+    }
+    return stateSecondsAcc[int(s)] + extra;
+}
+
+double
+Disk::seekMs(std::uint64_t block) const
+{
+    std::uint64_t distance = block > lastBlock ? block - lastBlock
+                                               : lastBlock - block;
+    if (distance == 0)
+        return 0;
+    // Square-root seek curve between track-to-track and full-stroke.
+    double frac = double(distance) / double(timing.numBlocks);
+    double full_stroke = 2.0 * timing.avgSeekMs;
+    return timing.trackToTrackMs +
+           (full_stroke - timing.trackToTrackMs) * std::sqrt(frac);
+}
+
+void
+Disk::cancelSpindown()
+{
+    if (spindownScheduled) {
+        queue.cancel(spindownEvent);
+        spindownScheduled = false;
+    }
+}
+
+void
+Disk::armSpindown()
+{
+    if (cfg.kind != DiskConfigKind::Spindown)
+        return;
+    cancelSpindown();
+    spindownEvent = queue.scheduleIn(
+        ticksFor(cfg.spindownThresholdSeconds), [this] {
+            spindownScheduled = false;
+            if (currentState != DiskState::Idle || busy ||
+                !pending.empty()) {
+                return;
+            }
+            ++numSpinDowns;
+            transitionTo(DiskState::SpinningDown);
+            queue.scheduleIn(ticksFor(power.spinupSeconds), [this] {
+                if (currentState != DiskState::SpinningDown)
+                    return;
+                transitionTo(DiskState::Standby);
+                // A request may have queued while spinning down.
+                if (!pending.empty() && !busy)
+                    startNext();
+            });
+        });
+    spindownScheduled = true;
+}
+
+void
+Disk::submit(std::uint64_t block, std::uint32_t num_blocks,
+             Callback done)
+{
+    if (num_blocks == 0)
+        fatal("disk request must transfer at least one block");
+    pending.push_back(Request{block, num_blocks, std::move(done)});
+    cancelSpindown();
+    if (!busy)
+        startNext();
+}
+
+void
+Disk::sleep()
+{
+    if (busy || !pending.empty())
+        return;  // refuse while work is outstanding
+    cancelSpindown();
+    if (currentState == DiskState::Idle) {
+        transitionTo(DiskState::SpinningDown);
+        queue.scheduleIn(ticksFor(power.spinupSeconds), [this] {
+            if (currentState == DiskState::SpinningDown)
+                transitionTo(DiskState::Sleep);
+        });
+    } else if (currentState == DiskState::Standby) {
+        transitionTo(DiskState::Sleep);
+    }
+}
+
+void
+Disk::startNext()
+{
+    if (pending.empty())
+        return;
+    busy = true;
+
+    switch (currentState) {
+      case DiskState::Standby:
+      case DiskState::Sleep:
+        // Spin back up before servicing: time and energy penalty.
+        ++numSpinUps;
+        transitionTo(DiskState::SpinningUp);
+        queue.scheduleIn(ticksFor(power.spinupSeconds), [this] {
+            transitionTo(DiskState::Idle);
+            beginService();
+        });
+        return;
+      case DiskState::SpinningDown:
+        // Wait for the spin-down to finish; its completion event
+        // calls startNext() again from STANDBY.
+        busy = false;
+        return;
+      case DiskState::SpinningUp:
+        // Already spinning up for an earlier request; it will drain
+        // the queue when service completes.
+        return;
+      case DiskState::Idle:
+      case DiskState::Active:
+      case DiskState::Seeking:
+        beginService();
+        return;
+    }
+}
+
+void
+Disk::beginService()
+{
+    const Request &req = pending.front();
+
+    double seek_ms = seekMs(req.block);
+    // Rotational latency: uniform over one revolution.
+    double rot_ms = rng.uniform() * timing.rotationMs();
+    double transfer_ms = timing.blockTransferMs() * req.numBlocks;
+
+    ++numSeeks;
+    transitionTo(DiskState::Seeking);
+    queue.scheduleIn(ticksFor((seek_ms + rot_ms) * 1e-3), [this,
+                                                           transfer_ms] {
+        transitionTo(DiskState::Active);
+        queue.scheduleIn(ticksFor(transfer_ms * 1e-3), [this] {
+            Request req = std::move(pending.front());
+            pending.pop_front();
+            lastBlock = req.block + req.numBlocks;
+            ++numRequests;
+            // ACTIVE -> IDLE is free and instantaneous.
+            transitionTo(DiskState::Idle);
+            busy = false;
+            if (!pending.empty()) {
+                startNext();
+            } else {
+                armSpindown();
+            }
+            if (req.done)
+                req.done();
+        });
+    });
+}
+
+} // namespace softwatt

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * The low-power disk model: HP97560-style timing (seek curve,
+ * rotation, transfer) under the Toshiba MK3003MAN operating-mode
+ * state machine and power values of the paper's Figure 2.
+ */
+
+#ifndef SOFTWATT_DISK_DISK_HH
+#define SOFTWATT_DISK_DISK_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "sim/event_queue.hh"
+#include "sim/random.hh"
+#include "sim/types.hh"
+
+namespace softwatt
+{
+
+/** Figure 2: MK3003MAN per-mode power in watts. */
+struct DiskPowerSpec
+{
+    double sleepW = 0.15;
+    double idleW = 1.6;
+    double standbyW = 0.35;
+    double activeW = 3.2;
+    double seekW = 4.1;
+    double spinupW = 4.2;
+
+    /** Spin-up takes 5 s; spin-down takes the same and is free. */
+    double spinupSeconds = 5.0;
+};
+
+/** Mechanical timing parameters (HP97560-class). */
+struct DiskTimingSpec
+{
+    double trackToTrackMs = 2.0;
+    double avgSeekMs = 8.5;
+    double rpm = 4200.0;
+    double transferMbPerS = 12.0;
+    int blockBytes = 4096;
+    std::uint64_t numBlocks = 1 << 20;
+
+    /** One full rotation in milliseconds. */
+    double rotationMs() const { return 60000.0 / rpm; }
+
+    /** Transfer time for one block in milliseconds. */
+    double
+    blockTransferMs() const
+    {
+        return double(blockBytes) / (transferMbPerS * 1e6) * 1e3;
+    }
+
+    /** SimOS's base disk: the HP97560 (no low-power modes). */
+    static DiskTimingSpec hp97560();
+
+    /** The paper's replacement: Toshiba MK3003MAN. */
+    static DiskTimingSpec mk3003man();
+};
+
+/** Operating mode (Figure 2 state machine). */
+enum class DiskState : std::uint8_t
+{
+    Sleep,
+    Standby,
+    SpinningDown,
+    SpinningUp,
+    Idle,
+    Active,     ///< Read/write transfer in progress.
+    Seeking,
+};
+
+/** Display name of a disk state. */
+const char *diskStateName(DiskState s);
+
+/** The four evaluated disk configurations (Section 4). */
+enum class DiskConfigKind : std::uint8_t
+{
+    /** No power management: spins at ACTIVE power between requests. */
+    Conventional,
+
+    /** Transitions to IDLE after each request; never spins down. */
+    IdleOnly,
+
+    /** IDLE plus STANDBY after a fixed inactivity threshold. */
+    Spindown,
+};
+
+/** A disk configuration: management kind plus its threshold. */
+struct DiskConfig
+{
+    DiskConfigKind kind = DiskConfigKind::Conventional;
+
+    /** Spin-down threshold in (paper-equivalent) seconds. */
+    double spindownThresholdSeconds = 2.0;
+
+    static DiskConfig conventional();
+    static DiskConfig idleOnly();
+    static DiskConfig spindown(double threshold_seconds);
+
+    /** Name for reports ("Baseline", "Without Spindowns", ...). */
+    const char *name() const;
+};
+
+/**
+ * The disk: request queue, mechanical timing, mode state machine and
+ * online energy accounting (the one power model the paper evaluates
+ * during simulation rather than in post-processing, because mode
+ * transitions need exact timing).
+ *
+ * All mechanical durations are divided by @p time_scale so that
+ * multi-second disk behaviour fits in tractable simulations; energy
+ * is integrated against paper-equivalent (uncompressed) time, so
+ * reported joules are directly comparable to the paper's Figure 9.
+ */
+class Disk
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /**
+     * @param queue Event queue (ticks are CPU cycles).
+     * @param freq_hz CPU clock, to convert seconds to ticks.
+     * @param config Power-management configuration.
+     * @param time_scale Compression factor for all durations.
+     * @param seed Deterministic rotational-latency stream.
+     */
+    Disk(EventQueue &queue, double freq_hz, const DiskConfig &config,
+         double time_scale = 100.0, std::uint64_t seed = 12345);
+
+    /**
+     * Submit a read/write of @p num_blocks starting at @p block.
+     * @p done fires when the transfer completes.
+     */
+    void submit(std::uint64_t block, std::uint32_t num_blocks,
+                Callback done);
+
+    /** Lowest-power mode; entered only via this explicit command. */
+    void sleep();
+
+    /** Current operating mode. */
+    DiskState state() const { return currentState; }
+
+    /** Energy so far in paper-equivalent joules (includes now). */
+    double energyJ() const;
+
+    /** Residency so far in a state, paper-equivalent seconds. */
+    double stateSeconds(DiskState s) const;
+
+    /** True if no request is in flight or queued. */
+    bool quiescent() const { return !busy && pending.empty(); }
+
+    std::uint64_t requestsServed() const { return numRequests; }
+    std::uint64_t spinUps() const { return numSpinUps; }
+    std::uint64_t spinDowns() const { return numSpinDowns; }
+    std::uint64_t seeks() const { return numSeeks; }
+
+    const DiskConfig &config() const { return cfg; }
+
+  private:
+    struct Request
+    {
+        std::uint64_t block;
+        std::uint32_t numBlocks;
+        Callback done;
+    };
+
+    EventQueue &queue;
+    double freqHz;
+    DiskConfig cfg;
+    double timeScale;
+    DiskPowerSpec power;
+    DiskTimingSpec timing;
+    Random rng;
+
+    DiskState currentState;
+    Tick lastTransition = 0;
+    double accumulatedJ = 0;
+    double stateSecondsAcc[8] = {};
+
+    std::deque<Request> pending;
+    bool busy = false;
+    std::uint64_t lastBlock = 0;
+    EventQueue::EventId spindownEvent = 0;
+    bool spindownScheduled = false;
+
+    std::uint64_t numRequests = 0;
+    std::uint64_t numSpinUps = 0;
+    std::uint64_t numSpinDowns = 0;
+    std::uint64_t numSeeks = 0;
+
+    /** Power drawn in a state, watts. */
+    double statePowerW(DiskState s) const;
+
+    /** Seconds (sim-compressed) → event-queue ticks. */
+    Tick ticksFor(double seconds) const;
+
+    /** Accumulate energy since lastTransition, then switch states. */
+    void transitionTo(DiskState next);
+
+    /** Seek time for the distance from lastBlock, milliseconds. */
+    double seekMs(std::uint64_t block) const;
+
+    /** Start servicing the head of the queue (spins up if needed). */
+    void startNext();
+
+    /** Begin the seek+transfer for a request (disk is spinning). */
+    void beginService();
+
+    void cancelSpindown();
+    void armSpindown();
+};
+
+} // namespace softwatt
+
+#endif // SOFTWATT_DISK_DISK_HH

@@ -1,0 +1,141 @@
+#include "cache.hh"
+
+#include "sim/logging.hh"
+
+namespace softwatt
+{
+
+namespace
+{
+
+int
+log2Exact(std::uint64_t v, const char *what)
+{
+    if (v == 0 || (v & (v - 1)) != 0)
+        fatal(msg() << what << " (" << v << ") must be a power of two");
+    int n = 0;
+    while (v > 1) {
+        v >>= 1;
+        ++n;
+    }
+    return n;
+}
+
+} // namespace
+
+Cache::Cache(std::string name, const CacheParams &params)
+    : cacheName(std::move(name)), params(params)
+{
+    if (params.ways <= 0)
+        fatal(msg() << cacheName << ": ways must be positive");
+    std::uint64_t line_way =
+        std::uint64_t(params.lineBytes) * params.ways;
+    if (line_way == 0 || params.sizeBytes % line_way != 0)
+        fatal(msg() << cacheName
+                    << ": size must be a multiple of line * ways");
+    sets = params.sizeBytes / line_way;
+    log2Exact(sets, "cache sets");
+    lineShift = log2Exact(std::uint64_t(params.lineBytes), "line size");
+    lines.resize(sets * params.ways);
+}
+
+std::uint64_t
+Cache::setIndex(Addr addr) const
+{
+    return (addr >> lineShift) & (sets - 1);
+}
+
+Addr
+Cache::tagOf(Addr addr) const
+{
+    return addr >> lineShift;
+}
+
+Cache::Line *
+Cache::findLine(Addr addr)
+{
+    std::uint64_t base = setIndex(addr) * params.ways;
+    Addr tag = tagOf(addr);
+    for (int w = 0; w < params.ways; ++w) {
+        Line &line = lines[base + w];
+        if (line.valid && line.tag == tag)
+            return &line;
+    }
+    return nullptr;
+}
+
+const Cache::Line *
+Cache::findLine(Addr addr) const
+{
+    return const_cast<Cache *>(this)->findLine(addr);
+}
+
+CacheAccessResult
+Cache::access(Addr addr, bool write)
+{
+    ++numRefs;
+    ++useCounter;
+
+    CacheAccessResult result;
+    if (Line *line = findLine(addr)) {
+        result.hit = true;
+        line->lastUse = useCounter;
+        line->dirty = line->dirty || write;
+        return result;
+    }
+
+    ++numMisses;
+
+    // Victim: invalid way first, else true LRU.
+    std::uint64_t base = setIndex(addr) * params.ways;
+    Line *victim = &lines[base];
+    for (int w = 0; w < params.ways; ++w) {
+        Line &line = lines[base + w];
+        if (!line.valid) {
+            victim = &line;
+            break;
+        }
+        if (line.lastUse < victim->lastUse)
+            victim = &line;
+    }
+
+    if (victim->valid && victim->dirty) {
+        result.writeback = true;
+        result.writebackAddr = victim->tag << lineShift;
+        ++numWritebacks;
+    }
+
+    victim->tag = tagOf(addr);
+    victim->valid = true;
+    victim->dirty = write;
+    victim->lastUse = useCounter;
+    return result;
+}
+
+bool
+Cache::probe(Addr addr) const
+{
+    return findLine(addr) != nullptr;
+}
+
+void
+Cache::invalidateAll()
+{
+    for (Line &line : lines) {
+        line.valid = false;
+        line.dirty = false;
+    }
+}
+
+bool
+Cache::invalidateLine(Addr addr)
+{
+    if (Line *line = findLine(addr)) {
+        line->valid = false;
+        line->dirty = false;
+        return true;
+    }
+    return false;
+}
+
+} // namespace softwatt

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Set-associative, write-back, write-allocate cache tag model with
+ * true LRU replacement. Tracks tags only (no data), which is all the
+ * timing and power models need.
+ */
+
+#ifndef SOFTWATT_MEM_CACHE_HH
+#define SOFTWATT_MEM_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/machine_params.hh"
+#include "sim/types.hh"
+
+namespace softwatt
+{
+
+/** Outcome of a single cache access. */
+struct CacheAccessResult
+{
+    bool hit = false;
+
+    /** A dirty line was evicted and must be written back below. */
+    bool writeback = false;
+
+    /** Address of the written-back line (valid iff writeback). */
+    Addr writebackAddr = 0;
+};
+
+/**
+ * Cache tag array.
+ *
+ * access() performs lookup, LRU update, and (on a miss) allocation
+ * with victim selection in one step — the shape every level of the
+ * blocking hierarchy needs.
+ */
+class Cache
+{
+  public:
+    /**
+     * @param name For statistics and error messages.
+     * @param params Geometry (size, line, ways) and hit latency.
+     */
+    Cache(std::string name, const CacheParams &params);
+
+    /**
+     * Look up @p addr; on a miss, allocate the line, evicting LRU.
+     *
+     * @param addr Byte address of the access.
+     * @param write True marks the line dirty (write-allocate).
+     * @return Hit/miss and any writeback of a dirty victim.
+     */
+    CacheAccessResult access(Addr addr, bool write);
+
+    /** Look up without allocating or touching LRU state. */
+    bool probe(Addr addr) const;
+
+    /** Invalidate every line, discarding dirty state (cacheflush). */
+    void invalidateAll();
+
+    /** Invalidate one line if present; returns true if it was. */
+    bool invalidateLine(Addr addr);
+
+    int hitLatency() const { return params.hitLatency; }
+    const std::string &name() const { return cacheName; }
+
+    std::uint64_t refs() const { return numRefs; }
+    std::uint64_t misses() const { return numMisses; }
+    std::uint64_t writebacks() const { return numWritebacks; }
+
+    /** Miss ratio in [0,1]; 0 when no references were made. */
+    double
+    missRatio() const
+    {
+        return numRefs ? double(numMisses) / double(numRefs) : 0;
+    }
+
+    std::uint64_t numSets() const { return sets; }
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        std::uint64_t lastUse = 0;
+    };
+
+    std::string cacheName;
+    CacheParams params;
+    std::uint64_t sets;
+    int lineShift;
+    std::vector<Line> lines;  // sets * ways, way-major within a set
+    std::uint64_t useCounter = 0;
+
+    std::uint64_t numRefs = 0;
+    std::uint64_t numMisses = 0;
+    std::uint64_t numWritebacks = 0;
+
+    std::uint64_t setIndex(Addr addr) const;
+    Addr tagOf(Addr addr) const;
+    Line *findLine(Addr addr);
+    const Line *findLine(Addr addr) const;
+};
+
+} // namespace softwatt
+
+#endif // SOFTWATT_MEM_CACHE_HH

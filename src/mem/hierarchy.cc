@@ -1,0 +1,95 @@
+#include "hierarchy.hh"
+
+namespace softwatt
+{
+
+CacheHierarchy::CacheHierarchy(const MachineParams &params,
+                               CounterSink &sink)
+    : sink(sink),
+      l1i("l1i", params.icache),
+      l1d("l1d", params.dcache),
+      l2("l2", params.l2cache),
+      memLatency(params.memoryLatency)
+{
+}
+
+int
+CacheHierarchy::missWalk(Addr addr, bool instruction_side, bool write,
+                         ExecMode mode, std::uint32_t tag,
+                         MemAccessOutcome &out)
+{
+    sink.add(mode, instruction_side ? CounterId::L2IRef
+                                    : CounterId::L2DRef,
+             1, tag);
+    CacheAccessResult l2_result = l2.access(addr, write);
+    int latency = l2.hitLatency();
+
+    if (!l2_result.hit) {
+        out.l2Hit = false;
+        out.memAccess = true;
+        sink.add(mode, CounterId::L2Miss, 1, tag);
+        sink.add(mode, CounterId::MemRef, 1, tag);
+        ++numMemAccesses;
+        latency += memLatency;
+        if (l2_result.writeback) {
+            // Dirty L2 victim written back to memory.
+            sink.add(mode, CounterId::MemRef, 1, tag);
+            ++numMemAccesses;
+        }
+    }
+    return latency;
+}
+
+MemAccessOutcome
+CacheHierarchy::ifetch(Addr addr, ExecMode mode, std::uint32_t tag)
+{
+    MemAccessOutcome out;
+    sink.add(mode, CounterId::IL1Ref, 1, tag);
+    CacheAccessResult l1 = l1i.access(addr, false);
+    out.latency = l1i.hitLatency();
+    if (!l1.hit) {
+        out.l1Hit = false;
+        sink.add(mode, CounterId::IL1Miss, 1, tag);
+        out.latency += missWalk(addr, true, false, mode, tag, out);
+    }
+    return out;
+}
+
+MemAccessOutcome
+CacheHierarchy::dataAccess(Addr addr, bool write, ExecMode mode,
+                           std::uint32_t tag)
+{
+    MemAccessOutcome out;
+    sink.add(mode, CounterId::DL1Ref, 1, tag);
+    CacheAccessResult l1 = l1d.access(addr, write);
+    out.latency = l1d.hitLatency();
+    if (!l1.hit) {
+        out.l1Hit = false;
+        sink.add(mode, CounterId::DL1Miss, 1, tag);
+        out.latency += missWalk(addr, false, write, mode, tag, out);
+        if (l1.writeback) {
+            // Dirty L1 victim written back into the L2.
+            sink.add(mode, CounterId::L2DRef, 1, tag);
+            CacheAccessResult wb =
+                l2.access(l1.writebackAddr, true);
+            if (!wb.hit) {
+                sink.add(mode, CounterId::L2Miss, 1, tag);
+                sink.add(mode, CounterId::MemRef, 1, tag);
+                ++numMemAccesses;
+            }
+        }
+    }
+    return out;
+}
+
+void
+CacheHierarchy::flushL1(ExecMode mode)
+{
+    // Dirty D-cache lines stream back through the L2; charge one
+    // L2 write per dirty line flushed.
+    (void)mode;
+    l1i.invalidateAll();
+    l1d.invalidateAll();
+}
+
+} // namespace softwatt

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * The two-level cache hierarchy of Table 1: split L1 I/D caches above
+ * a unified L2 above DRAM. Returns access latencies for the timing
+ * models and feeds the counter schema for the power pass.
+ */
+
+#ifndef SOFTWATT_MEM_HIERARCHY_HH
+#define SOFTWATT_MEM_HIERARCHY_HH
+
+#include "sim/counter_sink.hh"
+#include "sim/machine_params.hh"
+#include "sim/types.hh"
+
+#include "cache.hh"
+
+namespace softwatt
+{
+
+/** Timing/level outcome of one hierarchy access. */
+struct MemAccessOutcome
+{
+    int latency = 1;       ///< Total cycles to data.
+    bool l1Hit = true;
+    bool l2Hit = true;     ///< Meaningful only when !l1Hit.
+    bool memAccess = false;
+};
+
+/**
+ * Blocking cache hierarchy.
+ *
+ * Each ifetch()/dataAccess() models the full walk: L1 lookup, L2 on a
+ * miss, DRAM on an L2 miss, plus dirty-victim writebacks, charging
+ * each level's reference counters to the requesting execution mode.
+ */
+class CacheHierarchy
+{
+  public:
+    CacheHierarchy(const MachineParams &params, CounterSink &sink);
+
+    /**
+     * Instruction fetch of one instruction at @p addr.
+     * Counts one IL1Ref per call (the paper's Table 3 metric counts
+     * per-instruction references).
+     */
+    MemAccessOutcome ifetch(Addr addr, ExecMode mode,
+                            std::uint32_t tag = 0);
+
+    /** Data access (load or store) at @p addr. */
+    MemAccessOutcome dataAccess(Addr addr, bool write, ExecMode mode,
+                                std::uint32_t tag = 0);
+
+    /** Flush both L1 caches (the cacheflush kernel service). */
+    void flushL1(ExecMode mode);
+
+    Cache &icache() { return l1i; }
+    Cache &dcache() { return l1d; }
+    Cache &l2cache() { return l2; }
+    const Cache &icache() const { return l1i; }
+    const Cache &dcache() const { return l1d; }
+    const Cache &l2cache() const { return l2; }
+
+    std::uint64_t memAccesses() const { return numMemAccesses; }
+
+  private:
+    CounterSink &sink;
+    Cache l1i;
+    Cache l1d;
+    Cache l2;
+    int memLatency;
+    std::uint64_t numMemAccesses = 0;
+
+    /** L2 + memory walk shared by both sides. */
+    int missWalk(Addr addr, bool instruction_side, bool write,
+                 ExecMode mode, std::uint32_t tag,
+                 MemAccessOutcome &out);
+};
+
+} // namespace softwatt
+
+#endif // SOFTWATT_MEM_HIERARCHY_HH

@@ -1,0 +1,29 @@
+#include "page_table.hh"
+
+#include "sim/logging.hh"
+
+namespace softwatt
+{
+
+PageTable::PageTable(int page_bytes) : pageSize(page_bytes)
+{
+    if (page_bytes <= 0 || (page_bytes & (page_bytes - 1)) != 0)
+        fatal("page size must be a power of two");
+    pageShift = 0;
+    for (int v = page_bytes; v > 1; v >>= 1)
+        ++pageShift;
+}
+
+bool
+PageTable::isMapped(Addr vaddr) const
+{
+    return pages.count(vpn(vaddr)) != 0;
+}
+
+bool
+PageTable::map(Addr vaddr)
+{
+    return pages.insert(vpn(vaddr)).second;
+}
+
+} // namespace softwatt

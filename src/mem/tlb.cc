@@ -1,0 +1,76 @@
+#include "tlb.hh"
+
+#include "sim/logging.hh"
+
+namespace softwatt
+{
+
+Tlb::Tlb(int num_entries, int page_bytes)
+    : entries(num_entries), pageSize(page_bytes)
+{
+    if (num_entries <= 0)
+        fatal("TLB must have at least one entry");
+    if (page_bytes <= 0 || (page_bytes & (page_bytes - 1)) != 0)
+        fatal("TLB page size must be a power of two");
+    pageShift = 0;
+    for (int v = page_bytes; v > 1; v >>= 1)
+        ++pageShift;
+}
+
+bool
+Tlb::lookup(std::uint32_t asid, Addr vaddr)
+{
+    ++numRefs;
+    ++useCounter;
+    Addr page = vpn(vaddr);
+    for (Entry &e : entries) {
+        if (e.valid && e.asid == asid && e.vpn == page) {
+            e.lastUse = useCounter;
+            return true;
+        }
+    }
+    ++numMisses;
+    return false;
+}
+
+void
+Tlb::insert(std::uint32_t asid, Addr vaddr)
+{
+    ++useCounter;
+    Addr page = vpn(vaddr);
+
+    Entry *victim = &entries[0];
+    for (Entry &e : entries) {
+        if (e.valid && e.asid == asid && e.vpn == page) {
+            e.lastUse = useCounter;  // already present
+            return;
+        }
+        if (!e.valid) {
+            victim = &e;
+        } else if (victim->valid && e.lastUse < victim->lastUse) {
+            victim = &e;
+        }
+    }
+    victim->asid = asid;
+    victim->vpn = page;
+    victim->valid = true;
+    victim->lastUse = useCounter;
+}
+
+void
+Tlb::invalidateAll()
+{
+    for (Entry &e : entries)
+        e.valid = false;
+}
+
+void
+Tlb::invalidateAsid(std::uint32_t asid)
+{
+    for (Entry &e : entries) {
+        if (e.asid == asid)
+            e.valid = false;
+    }
+}
+
+} // namespace softwatt

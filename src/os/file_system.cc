@@ -1,0 +1,108 @@
+#include "file_system.hh"
+
+#include "sim/logging.hh"
+
+namespace softwatt
+{
+
+FileSystem::FileSystem(int block_bytes) : blockSize(block_bytes)
+{
+    if (block_bytes <= 0 || (block_bytes & (block_bytes - 1)) != 0)
+        fatal("filesystem block size must be a power of two");
+}
+
+std::uint32_t
+FileSystem::createFile(std::uint64_t size_bytes)
+{
+    FileInfo file;
+    file.fileId = std::uint32_t(files.size());
+    file.sizeBytes = size_bytes;
+    file.firstBlock = nextBlock;
+    std::uint64_t blocks =
+        (size_bytes + std::uint64_t(blockSize) - 1) / blockSize;
+    nextBlock += blocks > 0 ? blocks : 1;
+    files.push_back(file);
+    return file.fileId;
+}
+
+const FileInfo &
+FileSystem::info(std::uint32_t file_id) const
+{
+    if (file_id >= files.size())
+        fatal(msg() << "unknown file id " << file_id);
+    return files[file_id];
+}
+
+std::uint64_t
+FileSystem::blockOf(std::uint32_t file_id, std::uint64_t offset) const
+{
+    const FileInfo &file = info(file_id);
+    return file.firstBlock + offset / std::uint64_t(blockSize);
+}
+
+FileCache::FileCache(std::size_t capacity_blocks)
+    : capacityBlocks(capacity_blocks)
+{
+    if (capacity_blocks == 0)
+        fatal("file cache must hold at least one block");
+}
+
+bool
+FileCache::contains(std::uint64_t block)
+{
+    ++numLookups;
+    auto it = map.find(block);
+    if (it == map.end())
+        return false;
+    ++numHits;
+    lru.splice(lru.begin(), lru, it->second);
+    return true;
+}
+
+void
+FileCache::insert(std::uint64_t block)
+{
+    auto it = map.find(block);
+    if (it != map.end()) {
+        lru.splice(lru.begin(), lru, it->second);
+        return;
+    }
+    if (map.size() >= capacityBlocks) {
+        Node victim = lru.back();
+        if (victim.dirty)
+            --dirtyCount;
+        map.erase(victim.block);
+        lru.pop_back();
+    }
+    lru.push_front(Node{block, false});
+    map[block] = lru.begin();
+}
+
+void
+FileCache::insertDirty(std::uint64_t block)
+{
+    insert(block);
+    auto it = map.find(block);
+    if (!it->second->dirty) {
+        it->second->dirty = true;
+        ++dirtyCount;
+    }
+}
+
+void
+FileCache::cleanAll()
+{
+    for (Node &node : lru)
+        node.dirty = false;
+    dirtyCount = 0;
+}
+
+void
+FileCache::clear()
+{
+    lru.clear();
+    map.clear();
+    dirtyCount = 0;
+}
+
+} // namespace softwatt

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * The MiniOS kernel: stream multiplexing between user program, kernel
+ * services and the idle loop; software TLB-refill and page-fault
+ * handling; the syscall layer over the filesystem and disk; periodic
+ * clock interrupts; and per-invocation service energy accounting.
+ */
+
+#ifndef SOFTWATT_OS_KERNEL_HH
+#define SOFTWATT_OS_KERNEL_HH
+
+#include <array>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "cpu/kernel_iface.hh"
+#include "cpu/stream_gen.hh"
+#include "disk/disk.hh"
+#include "mem/hierarchy.hh"
+#include "mem/page_table.hh"
+#include "mem/tlb.hh"
+#include "sim/counter_sink.hh"
+#include "sim/event_queue.hh"
+#include "sim/machine_params.hh"
+
+#include "file_system.hh"
+#include "service.hh"
+#include "service_streams.hh"
+
+namespace softwatt
+{
+
+/**
+ * The operating system model.
+ *
+ * Runs *on* the simulated CPU: every kernel action is an instruction
+ * stream executed by the timing model, tagged with its execution mode
+ * and its service identity, which is what lets SoftWatt report
+ * per-mode and per-service power (Tables 2-5, Figures 6 and 8).
+ */
+class Kernel : public KernelIface, public IoContext
+{
+  public:
+    /** Policy and modelling parameters. */
+    struct Params
+    {
+        /** Fraction of TLB misses taking the slow tlb_miss path. */
+        double tlbSlowPathProb = 0.01;
+
+        /** Fraction of first touches raising an explicit vfault. */
+        double vfaultProb = 0.40;
+
+        /** Timer-interrupt period, paper-equivalent seconds. */
+        double clockTickSeconds = 0.05;
+
+        /** Time compression shared with the disk model. */
+        double timeScale = 100.0;
+
+        /** Buffer cache capacity in blocks. */
+        std::size_t fileCacheBlocks = 2048;
+
+        /**
+         * Extension (paper conclusion): halt the processor instead
+         * of busy-waiting in the idle process. Idle periods then
+         * consume only clock-base and memory-background power.
+         */
+        bool haltOnIdle = false;
+
+        std::uint64_t seed = 777;
+
+        ServiceTuning tuning;
+    };
+
+    Kernel(EventQueue &queue, Tlb &tlb, CacheHierarchy &hierarchy,
+           Disk &disk, const MachineParams &machine,
+           const Params &params, CounterSink &sink);
+
+    /** Attach the benchmark's user-mode instruction stream. */
+    void setUserProgram(InstSource *program, std::uint32_t asid = 1);
+
+    /**
+     * Energy model hook: per-invocation service energy, split by
+     * component, computed from the invocation's private counter bank
+     * (set by the System to the PowerCalculator's model).
+     */
+    using EnergyFn =
+        std::function<std::array<double, numComponents>(
+            const CounterBank &)>;
+    void setEnergyFn(EnergyFn fn);
+
+    /** Begin periodic timer interrupts. */
+    void startClock();
+
+    // KernelIface.
+    FetchOutcome fetchNext(MicroOp &op) override;
+    void dataTlbMiss(Addr vaddr, std::uint32_t asid,
+                     std::vector<MicroOp> replay) override;
+    void syscall(const MicroOp &op) override;
+    void onCommit(const MicroOp &op) override;
+    bool interruptPending() const override;
+    void takeInterrupt(std::vector<MicroOp> replay) override;
+    void onPipelineEmpty() override;
+    ExecMode currentStreamMode() const override;
+    std::uint32_t privilegedTag() const override;
+
+    /** Requeue squashed instructions (idle filler is dropped). */
+    void requeue(std::vector<MicroOp> replay);
+
+    // IoContext.
+    FileSystem &fs() override { return fileSystem; }
+    FileCache &fileCache() override { return bufferCache; }
+    void requestDiskBlocks(std::uint64_t block,
+                           std::uint32_t num_blocks,
+                           std::function<void()> done) override;
+
+    /** Has the benchmark's stream reported End? */
+    bool workloadDone() const { return userDone; }
+
+    /**
+     * True when the machine is only executing the idle loop while
+     * waiting for an external event — the idle fast-forward window.
+     */
+    bool idleWaiting() const;
+
+    /** Accounting for one service. */
+    const ServiceStats &
+    serviceStats(ServiceKind kind) const
+    {
+        return stats[int(kind)];
+    }
+
+    /** Sum of invocation cycles across all services. */
+    std::uint64_t totalServiceCycles() const;
+
+    PageTable &pageTable() { return pages; }
+    const Params &params() const { return cfg; }
+
+    std::uint64_t clockInterrupts() const { return numClockInts; }
+
+  private:
+    /** One suspended-or-active service invocation. */
+    struct Frame
+    {
+        std::unique_ptr<InstSource> src;
+        ServiceKind service = ServiceKind::Utlb;
+        CounterBank bank;
+        std::deque<MicroOp> replay;
+        std::function<void()> onComplete;
+        IoService *ioService = nullptr;  ///< For blocking queries.
+        bool endPending = false;
+
+        /** Invocation tag stamped on the frame's instructions. */
+        std::uint32_t tag = 0;
+
+        /** Instructions produced / retired; equal => can finalize. */
+        std::uint64_t emitted = 0;
+        std::uint64_t committed = 0;
+    };
+
+    EventQueue &queue;
+    Tlb &tlb;
+    CacheHierarchy &hierarchy;
+    Disk &disk;
+    MachineParams machine;
+    Params cfg;
+    CounterSink &sink;
+
+    FileSystem fileSystem;
+    FileCache bufferCache;
+    PageTable pages;
+    Random rng;
+
+    InstSource *userProgram = nullptr;
+    std::uint32_t userAsid = 1;
+    bool userDone = false;
+
+    StreamGen idleStream;
+
+    std::vector<std::unique_ptr<Frame>> stack;
+    std::deque<MicroOp> baseReplay;
+
+    EnergyFn energyFn;
+    std::array<ServiceStats, numServices> stats{};
+
+    bool pendingClockInt = false;
+    bool clockRunning = false;
+    std::uint64_t numClockInts = 0;
+    std::uint64_t serviceSeed = 1;
+    std::uint32_t nextFrameTag = 1;
+
+    void pushService(ServiceKind kind,
+                     std::unique_ptr<InstSource> stream,
+                     std::function<void()> on_complete,
+                     IoService *io_service = nullptr);
+
+    /** Record stats for a completed service and erase its frame. */
+    void finalizeService(std::size_t index, bool force = false);
+
+    /** Finalize if the frame has ended and all its ops committed. */
+    void maybeFinalize(std::size_t index);
+
+    /** First frame (from the top) still producing instructions. */
+    Frame *activeFrame() const;
+
+    /** Attach squashed ops (minus idle) for replay at this level. */
+    void stashReplay(std::vector<MicroOp> replay);
+
+    void scheduleClockTick();
+};
+
+} // namespace softwatt
+
+#endif // SOFTWATT_OS_KERNEL_HH

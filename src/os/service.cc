@@ -1,0 +1,105 @@
+#include "service.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace softwatt
+{
+
+const char *
+serviceName(ServiceKind kind)
+{
+    switch (kind) {
+      case ServiceKind::Utlb: return "utlb";
+      case ServiceKind::TlbMiss: return "tlb_miss";
+      case ServiceKind::Vfault: return "vfault";
+      case ServiceKind::DemandZero: return "demand_zero";
+      case ServiceKind::CacheFlush: return "cacheflush";
+      case ServiceKind::Read: return "read";
+      case ServiceKind::Write: return "write";
+      case ServiceKind::Open: return "open";
+      case ServiceKind::Xstat: return "xstat";
+      case ServiceKind::DuPoll: return "du_poll";
+      case ServiceKind::Bsd: return "BSD";
+      case ServiceKind::ClockInt: return "clock";
+      case ServiceKind::NumServices: break;
+    }
+    panic("serviceName: invalid service kind");
+}
+
+void
+ServiceStats::record(std::uint64_t inv_cycles, double inv_energy_j)
+{
+    if (invocations == 0) {
+        energyMin = energyMax = inv_energy_j;
+    } else {
+        if (inv_energy_j < energyMin)
+            energyMin = inv_energy_j;
+        if (inv_energy_j > energyMax)
+            energyMax = inv_energy_j;
+    }
+    ++invocations;
+    cycles += inv_cycles;
+    energyJ += inv_energy_j;
+    energySum += inv_energy_j;
+    energySumSq += inv_energy_j * inv_energy_j;
+}
+
+void
+ServiceStats::merge(const ServiceStats &other)
+{
+    if (other.invocations == 0)
+        return;
+    if (invocations == 0) {
+        energyMin = other.energyMin;
+        energyMax = other.energyMax;
+    } else {
+        if (other.energyMin < energyMin)
+            energyMin = other.energyMin;
+        if (other.energyMax > energyMax)
+            energyMax = other.energyMax;
+    }
+    invocations += other.invocations;
+    cycles += other.cycles;
+    energyJ += other.energyJ;
+    energySum += other.energySum;
+    energySumSq += other.energySumSq;
+    for (int c = 0; c < numComponents; ++c)
+        componentEnergyJ[c] += other.componentEnergyJ[c];
+}
+
+double
+ServiceStats::meanEnergyJ() const
+{
+    return invocations ? energySum / double(invocations) : 0;
+}
+
+double
+ServiceStats::stdevEnergyJ() const
+{
+    if (invocations < 2)
+        return 0;
+    double n = double(invocations);
+    double mean = energySum / n;
+    double var = (energySumSq - n * mean * mean) / (n - 1);
+    return var > 0 ? std::sqrt(var) : 0;
+}
+
+double
+ServiceStats::coeffOfDeviationPct() const
+{
+    double mean = meanEnergyJ();
+    return mean > 0 ? 100.0 * stdevEnergyJ() / mean : 0;
+}
+
+double
+ServiceStats::avgPowerW(double freq_hz) const
+{
+    if (cycles == 0)
+        return 0;
+    double seconds = double(cycles) / freq_hz;
+    return energyJ / seconds;
+}
+
+} // namespace softwatt

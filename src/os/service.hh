@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Kernel service identities and per-service accounting — the basis
+ * of the paper's Tables 4/5 and Figure 8.
+ */
+
+#ifndef SOFTWATT_OS_SERVICE_HH
+#define SOFTWATT_OS_SERVICE_HH
+
+#include <array>
+#include <cstdint>
+
+#include "power/components.hh"
+#include "sim/types.hh"
+
+namespace softwatt
+{
+
+/**
+ * The operating system services the paper attributes kernel time and
+ * energy to (Table 4).
+ */
+enum class ServiceKind : std::uint8_t
+{
+    Utlb = 0,       ///< Fast software TLB refill.
+    TlbMiss,        ///< Slow/general TLB miss path.
+    Vfault,         ///< Validity fault handler.
+    DemandZero,     ///< Zeroing a newly allocated page.
+    CacheFlush,     ///< I-/D-cache flush routine.
+    Read,           ///< read() syscall.
+    Write,          ///< write() syscall.
+    Open,           ///< open() syscall.
+    Xstat,          ///< stat() family.
+    DuPoll,         ///< Device polling.
+    Bsd,            ///< BSD networking / misc syscall layer.
+    ClockInt,       ///< Timer interrupt.
+    NumServices,
+};
+
+/** Number of service kinds. */
+constexpr int numServices = int(ServiceKind::NumServices);
+
+/** Table-4 style name of a service. */
+const char *serviceName(ServiceKind kind);
+
+/** All services, in reporting order. */
+constexpr std::array<ServiceKind, numServices> allServices = {
+    ServiceKind::Utlb,      ServiceKind::TlbMiss,
+    ServiceKind::Vfault,    ServiceKind::DemandZero,
+    ServiceKind::CacheFlush, ServiceKind::Read,
+    ServiceKind::Write,     ServiceKind::Open,
+    ServiceKind::Xstat,     ServiceKind::DuPoll,
+    ServiceKind::Bsd,       ServiceKind::ClockInt,
+};
+
+/**
+ * Accumulated accounting of one service: invocation count, cycles,
+ * energy, and the per-invocation energy moments used for Table 5's
+ * coefficient of deviation.
+ */
+struct ServiceStats
+{
+    std::uint64_t invocations = 0;
+    std::uint64_t cycles = 0;
+    double energyJ = 0;
+
+    /** Energy split by hardware component (Figure 8's stacking). */
+    std::array<double, numComponents> componentEnergyJ{};
+
+    // Per-invocation energy moments.
+    double energySum = 0;
+    double energySumSq = 0;
+    double energyMin = 0;
+    double energyMax = 0;
+
+    /** Record one completed invocation. */
+    void record(std::uint64_t inv_cycles, double inv_energy_j);
+
+    /** Pool another benchmark's accounting into this one. */
+    void merge(const ServiceStats &other);
+
+    double meanEnergyJ() const;
+    double stdevEnergyJ() const;
+
+    /** Coefficient of deviation, percent (Table 5). */
+    double coeffOfDeviationPct() const;
+
+    /** Average power over the service's own cycles, watts. */
+    double avgPowerW(double freq_hz) const;
+};
+
+} // namespace softwatt
+
+#endif // SOFTWATT_OS_SERVICE_HH

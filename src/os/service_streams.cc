@@ -1,0 +1,384 @@
+#include "service_streams.hh"
+
+#include "sim/logging.hh"
+
+namespace softwatt
+{
+
+namespace
+{
+
+/** Base for all kernel-mode streams: unmapped, asid 0. */
+StreamSpec
+kernelBase(ExecMode mode)
+{
+    StreamSpec spec;
+    spec.mode = mode;
+    spec.kernelMapped = true;
+    spec.asid = 0;
+    return spec;
+}
+
+/** The short, non-data-intensive utlb refill handler. */
+StreamSpec
+utlbSpec()
+{
+    StreamSpec s = kernelBase(ExecMode::KernelInst);
+    s.fracLoad = 0.12;   // a couple of PTE loads
+    s.fracStore = 0.03;
+    s.fracBranch = 0.10;
+    s.fracFp = 0;
+    s.fracNop = 0.30;
+    s.codeBase = 0x80000000;
+    s.codeFootprint = 64;       // single-line resident handler
+    s.dataBase = 0x81000000;    // hot page-table lines
+    s.dataFootprint = 4096;
+    s.hotFootprint = 4096;
+    s.spatialLocality = 0.90;
+    s.depProb = 1.0;   // strictly serial refill sequence
+    s.depWindow = 1;
+    s.predictability = 0.9;
+    return s;
+}
+
+/** Page-zeroing loop: streaming stores across one page. */
+StreamSpec
+demandZeroSpec(std::uint64_t seed)
+{
+    StreamSpec s = kernelBase(ExecMode::KernelInst);
+    s.fracLoad = 0.02;
+    s.fracStore = 0.78;
+    s.fracBranch = 0.08;
+    s.fracFp = 0;
+    s.fracNop = 0.04;
+    s.codeBase = 0x80002000;
+    s.codeFootprint = 256;
+    // Each invocation zeroes a different page.
+    s.dataBase = 0x82000000 + ((seed * 4096) & 0x3ffff);
+    s.dataFootprint = 4096;
+    s.spatialLocality = 0.98;
+    s.depProb = 0.15;
+    return s;
+}
+
+/** Cache-flush loop: index arithmetic and branches, little data. */
+StreamSpec
+cacheflushSpec()
+{
+    StreamSpec s = kernelBase(ExecMode::KernelInst);
+    s.fracLoad = 0.05;
+    s.fracStore = 0.02;
+    s.fracBranch = 0.28;
+    s.fracFp = 0;
+    s.fracNop = 0.15;
+    s.codeBase = 0x80004000;
+    s.codeFootprint = 512;
+    s.dataBase = 0x83000000;
+    s.dataFootprint = 8 * 1024;
+    s.spatialLocality = 0.9;
+    s.depProb = 0.35;
+    s.predictability = 0.97;
+    return s;
+}
+
+/** Tight spin-loop synchronization section. */
+StreamSpec
+syncSpec()
+{
+    StreamSpec s = kernelBase(ExecMode::KernelSync);
+    s.fracLoad = 0.11;
+    s.fracStore = 0.01;
+    s.fracBranch = 0.22;
+    s.fracFp = 0;
+    s.fracNop = 0.28;
+    s.codeBase = 0x80006000;
+    s.codeFootprint = 128;
+    s.dataBase = 0x83800000;
+    s.dataFootprint = 256;
+    s.spatialLocality = 0.95;
+    s.depProb = 0.05;
+    s.depWindow = 4;
+    s.predictability = 0.98;
+    return s;
+}
+
+/** Per-block copy loop of the I/O path (uiomove/bcopy). */
+StreamSpec
+copySpec(std::uint64_t seed)
+{
+    StreamSpec s = kernelBase(ExecMode::KernelInst);
+    s.fracLoad = 0.42;
+    s.fracStore = 0.42;
+    s.fracBranch = 0.08;
+    s.fracFp = 0;
+    s.fracNop = 0.02;
+    s.codeBase = 0x80008000;
+    s.codeFootprint = 256;
+    (void)seed;
+    // Fixed kernel bounce buffer: stays warm in the D-cache, which
+    // is what makes read/write the power-hungry services (Fig. 8).
+    s.dataBase = 0x84000000;
+    s.dataFootprint = 8 * 1024;
+    s.spatialLocality = 0.97;
+    s.depProb = 0.12;
+    s.predictability = 0.97;
+    return s;
+}
+
+std::unique_ptr<InstSource>
+bounded(const StreamSpec &spec, std::uint64_t seed, std::uint64_t len)
+{
+    return std::make_unique<BoundedStream>(spec, seed, len);
+}
+
+} // namespace
+
+StreamSpec
+kernelCodeSpec(ExecMode mode)
+{
+    StreamSpec s = kernelBase(mode);
+    s.fracLoad = 0.12;
+    s.fracStore = 0.06;
+    s.fracBranch = 0.16;
+    s.fracFp = 0;
+    s.fracNop = 0.24;
+    s.codeBase = 0x8000a000;
+    s.codeFootprint = 12 * 1024;
+    s.dataBase = 0x85000000;
+    s.dataFootprint = 256 * 1024;
+    s.hotFootprint = 256 * 1024;
+    s.spatialLocality = 0.30;
+    s.depProb = 0.85;
+    s.depWindow = 1;
+    s.predictability = 0.70;
+    return s;
+}
+
+StreamSpec
+idleLoopSpec()
+{
+    StreamSpec s = kernelBase(ExecMode::Idle);
+    s.fracLoad = 0.36;
+    s.fracStore = 0.10;
+    s.fracBranch = 0.18;
+    s.fracFp = 0;
+    s.fracNop = 0.06;
+    s.codeBase = 0x80010000;
+    s.codeFootprint = 512;
+    s.dataBase = 0x86000000;
+    s.dataFootprint = 64 * 1024;
+    s.hotFootprint = 64 * 1024;
+    s.spatialLocality = 0.35;
+    s.depProb = 0.93;
+    s.depWindow = 1;
+    s.predictability = 0.95;
+    return s;
+}
+
+FetchOutcome
+SequenceStream::next(MicroOp &op)
+{
+    while (index < parts.size()) {
+        FetchOutcome outcome = parts[index]->next(op);
+        if (outcome == FetchOutcome::End) {
+            ++index;
+            continue;
+        }
+        return outcome;
+    }
+    return FetchOutcome::End;
+}
+
+std::unique_ptr<InstSource>
+makeFixedService(ServiceKind kind, const ServiceTuning &t,
+                 std::uint64_t seed)
+{
+    switch (kind) {
+      case ServiceKind::Utlb:
+        // Fixed seed: the refill handler is the same code every
+        // time, which is why its per-invocation energy variation is
+        // near zero (Table 5).
+        return bounded(utlbSpec(), 0x171b, t.utlbLength);
+      case ServiceKind::TlbMiss:
+        return bounded(kernelCodeSpec(ExecMode::KernelInst), 0x71b,
+                       t.tlbMissLength);
+      case ServiceKind::Vfault:
+        return bounded(kernelCodeSpec(ExecMode::KernelInst), 0xfa17,
+                       t.vfaultLength);
+      case ServiceKind::DemandZero:
+        // Deterministic zeroing loop; only the page differs.
+        return bounded(demandZeroSpec(seed), 0xde20,
+                       t.demandZeroLength);
+      case ServiceKind::CacheFlush:
+        return bounded(cacheflushSpec(), 0xcf15, t.cacheflushLength);
+      case ServiceKind::Xstat:
+        return bounded(kernelCodeSpec(ExecMode::KernelInst), seed,
+                       t.xstatLength);
+      case ServiceKind::DuPoll:
+        return bounded(kernelCodeSpec(ExecMode::KernelInst), seed,
+                       t.duPollLength);
+      case ServiceKind::Bsd:
+        return bounded(kernelCodeSpec(ExecMode::KernelInst), seed,
+                       t.bsdLength);
+      case ServiceKind::ClockInt: {
+        auto seq = std::make_unique<SequenceStream>();
+        seq->append(bounded(syncSpec(), seed, t.clockSyncLength));
+        seq->append(bounded(kernelCodeSpec(ExecMode::KernelInst),
+                            seed + 1, t.clockLength));
+        return seq;
+      }
+      case ServiceKind::Open: {
+        auto seq = std::make_unique<SequenceStream>();
+        seq->append(bounded(syncSpec(), seed, t.openSyncLength));
+        seq->append(bounded(kernelCodeSpec(ExecMode::KernelInst),
+                            seed + 1, t.openLength));
+        return seq;
+      }
+      case ServiceKind::Read:
+      case ServiceKind::Write:
+        panic("I/O services are built via IoService, not "
+              "makeFixedService");
+      case ServiceKind::NumServices:
+        break;
+    }
+    panic("makeFixedService: invalid service kind");
+}
+
+IoService::IoService(IoContext &io, std::uint32_t file_id,
+                     std::uint64_t offset, std::uint32_t bytes,
+                     bool is_write, const ServiceTuning &tuning,
+                     std::uint64_t seed)
+    : io(io), fileId(file_id), offset(offset), bytes(bytes),
+      isWrite(is_write), tuning(tuning), seed(seed)
+{
+    const FileInfo &file = io.fs().info(file_id);
+    std::uint64_t end = offset + bytes;
+    if (end > file.sizeBytes)
+        end = file.sizeBytes;
+    std::uint64_t bb = std::uint64_t(io.fs().blockBytes());
+    currentBlock = io.fs().blockOf(file_id, offset);
+    lastBlock = end > offset ? io.fs().blockOf(file_id, end - 1)
+                             : currentBlock;
+    (void)bb;
+    enterPhase(Phase::Lock);
+}
+
+void
+IoService::enterPhase(Phase next)
+{
+    phase = next;
+    switch (phase) {
+      case Phase::Lock:
+        segment = std::make_unique<BoundedStream>(syncSpec(), seed,
+                                                  tuning.ioSyncLength);
+        break;
+      case Phase::Setup:
+        segment = std::make_unique<BoundedStream>(
+            kernelCodeSpec(ExecMode::KernelInst), seed + 1,
+            tuning.ioSetupLength);
+        break;
+      case Phase::NextBlock:
+        segment.reset();
+        break;
+      case Phase::Copy: {
+        // This block's copy loop: ~2 ops per 8 bytes actually
+        // transferred, plus loop overhead.
+        std::uint64_t bb = std::uint64_t(io.fs().blockBytes());
+        std::uint64_t block_start =
+            (currentBlock - io.fs().info(fileId).firstBlock) * bb;
+        std::uint64_t xfer_begin =
+            offset > block_start ? offset : block_start;
+        std::uint64_t xfer_end = offset + bytes;
+        if (xfer_end > block_start + bb)
+            xfer_end = block_start + bb;
+        std::uint64_t xfer =
+            xfer_end > xfer_begin ? xfer_end - xfer_begin : bb;
+        std::uint64_t len = xfer / 8 * 2 + 64;
+        segment = std::make_unique<BoundedStream>(
+            copySpec(seed + currentBlock), seed + currentBlock, len);
+        break;
+      }
+      case Phase::Finish:
+        segment = std::make_unique<BoundedStream>(
+            kernelCodeSpec(ExecMode::KernelInst), seed + 2,
+            tuning.ioFinishLength);
+        break;
+      case Phase::Done:
+        segment.reset();
+        break;
+    }
+}
+
+FetchOutcome
+IoService::next(MicroOp &op)
+{
+    while (true) {
+        switch (phase) {
+          case Phase::Lock:
+          case Phase::Setup:
+          case Phase::Copy:
+          case Phase::Finish: {
+            FetchOutcome outcome = segment->next(op);
+            if (outcome != FetchOutcome::End)
+                return outcome;
+            // Segment finished: advance the phase machine.
+            if (phase == Phase::Lock) {
+                enterPhase(Phase::Setup);
+            } else if (phase == Phase::Setup) {
+                enterPhase(Phase::NextBlock);
+            } else if (phase == Phase::Copy) {
+                ++currentBlock;
+                enterPhase(Phase::NextBlock);
+            } else {
+                enterPhase(Phase::Done);
+            }
+            break;
+          }
+          case Phase::NextBlock: {
+            if (currentBlock > lastBlock) {
+                enterPhase(Phase::Finish);
+                break;
+            }
+            if (waiting)
+                return FetchOutcome::Stall;
+            if (isWrite) {
+                // Writes land in the cache and are flushed later.
+                io.fileCache().insertDirty(currentBlock);
+                enterPhase(Phase::Copy);
+                break;
+            }
+            if (io.fileCache().contains(currentBlock)) {
+                enterPhase(Phase::Copy);
+                break;
+            }
+            // Miss: read ahead over the consecutive missing run —
+            // past the request's end, up to the prefetch window or
+            // the end of the file (sequential-read prefetching).
+            const FileInfo &file = io.fs().info(fileId);
+            std::uint64_t file_end =
+                file.firstBlock +
+                (file.sizeBytes +
+                 std::uint64_t(io.fs().blockBytes()) - 1) /
+                    std::uint64_t(io.fs().blockBytes());
+            std::uint32_t run = 1;
+            while (run < 32 && currentBlock + run < file_end &&
+                   !io.fileCache().contains(currentBlock + run)) {
+                ++run;
+            }
+            waiting = true;
+            std::uint64_t block = currentBlock;
+            io.requestDiskBlocks(block, run, [this, block, run] {
+                for (std::uint32_t i = 0; i < run; ++i)
+                    io.fileCache().insert(block + i);
+                waiting = false;
+                enterPhase(Phase::Copy);
+            });
+            return FetchOutcome::Stall;
+          }
+          case Phase::Done:
+            return FetchOutcome::End;
+        }
+    }
+}
+
+} // namespace softwatt

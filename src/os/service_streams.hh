@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Instruction-stream models of the IRIX kernel services.
+ *
+ * Each service invocation is an instruction stream with a
+ * characteristic shape: utlb is a short, fixed-length, non-data-
+ * intensive refill (hence its low power and near-zero per-invocation
+ * variance in the paper); demand_zero streams stores across a page;
+ * the I/O syscalls walk the buffer cache under a lock (kernel-sync
+ * ops), copy data, and block the process on misses.
+ */
+
+#ifndef SOFTWATT_OS_SERVICE_STREAMS_HH
+#define SOFTWATT_OS_SERVICE_STREAMS_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "cpu/inst.hh"
+#include "cpu/stream_gen.hh"
+
+#include "file_system.hh"
+#include "service.hh"
+
+namespace softwatt
+{
+
+/**
+ * What an I/O service needs from the kernel: the filesystem, the
+ * buffer cache, and a way to start a disk transfer with a completion
+ * callback. Implemented by Kernel.
+ */
+class IoContext
+{
+  public:
+    virtual ~IoContext() = default;
+    virtual FileSystem &fs() = 0;
+    virtual FileCache &fileCache() = 0;
+    virtual void requestDiskBlocks(std::uint64_t block,
+                                   std::uint32_t num_blocks,
+                                   std::function<void()> done) = 0;
+};
+
+/** Tunable lengths of the fixed kernel services (instructions). */
+struct ServiceTuning
+{
+    std::uint64_t utlbLength = 18;
+    std::uint64_t tlbMissLength = 130;
+    std::uint64_t vfaultLength = 220;
+    std::uint64_t demandZeroLength = 620;
+    std::uint64_t cacheflushLength = 1600;
+    std::uint64_t openLength = 700;
+    std::uint64_t openSyncLength = 60;
+    std::uint64_t xstatLength = 420;
+    std::uint64_t duPollLength = 360;
+    std::uint64_t bsdLength = 520;
+    std::uint64_t clockLength = 300;
+    std::uint64_t clockSyncLength = 20;
+    std::uint64_t ioSyncLength = 150;
+    std::uint64_t ioSetupLength = 120;
+    std::uint64_t ioFinishLength = 60;
+
+    /** Probability an open() needs a metadata block from disk. */
+    double openMetadataMissProb = 0.05;
+};
+
+/** Concatenation of child streams, run to End one after another. */
+class SequenceStream : public InstSource
+{
+  public:
+    void
+    append(std::unique_ptr<InstSource> part)
+    {
+        parts.push_back(std::move(part));
+    }
+
+    FetchOutcome next(MicroOp &op) override;
+
+  private:
+    std::vector<std::unique_ptr<InstSource>> parts;
+    std::size_t index = 0;
+};
+
+/**
+ * read()/write(): buffer-cache walk under a lock, per-block copy
+ * loops, and blocking disk I/O on misses (reads only; writes dirty
+ * the cache).
+ */
+class IoService : public InstSource
+{
+  public:
+    /**
+     * @param io Kernel-provided filesystem/cache/disk access.
+     * @param file_id Target file.
+     * @param offset Byte offset of the transfer.
+     * @param bytes Transfer size.
+     * @param is_write Write (dirty cache, no blocking read).
+     * @param tuning Service shape parameters.
+     * @param seed Deterministic stream seed.
+     */
+    IoService(IoContext &io, std::uint32_t file_id,
+              std::uint64_t offset, std::uint32_t bytes, bool is_write,
+              const ServiceTuning &tuning, std::uint64_t seed);
+
+    FetchOutcome next(MicroOp &op) override;
+
+    /** True while blocked waiting for the disk. */
+    bool waitingForIo() const { return waiting; }
+
+  private:
+    enum class Phase
+    {
+        Lock,      ///< Sync-mode cache-lock section.
+        Setup,     ///< Argument validation, vnode walk.
+        NextBlock, ///< Decide hit/miss for the next block.
+        Copy,      ///< Per-block copy loop.
+        Finish,    ///< Return path.
+        Done,
+    };
+
+    IoContext &io;
+    std::uint32_t fileId;
+    std::uint64_t offset;
+    std::uint32_t bytes;
+    bool isWrite;
+    ServiceTuning tuning;
+    std::uint64_t seed;
+
+    Phase phase = Phase::Lock;
+    std::uint64_t currentBlock = 0;
+    std::uint64_t lastBlock = 0;
+    bool waiting = false;
+    std::unique_ptr<InstSource> segment;
+
+    /** Build the stream segment for the current phase. */
+    void enterPhase(Phase next);
+};
+
+/**
+ * Build the stream for one invocation of a fixed (non-I/O) service.
+ */
+std::unique_ptr<InstSource> makeFixedService(ServiceKind kind,
+                                             const ServiceTuning &t,
+                                             std::uint64_t seed);
+
+/** Stream spec used for the idle process's busy-wait loop. */
+StreamSpec idleLoopSpec();
+
+/** Stream spec template for kernel-mode code. */
+StreamSpec kernelCodeSpec(ExecMode mode);
+
+} // namespace softwatt
+
+#endif // SOFTWATT_OS_SERVICE_STREAMS_HH

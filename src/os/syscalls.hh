@@ -1,0 +1,64 @@
+/**
+ * @file
+ * The syscall ABI between workload instruction streams and the
+ * kernel: syscall numbers and the packed argument encoding carried in
+ * a Syscall MicroOp.
+ */
+
+#ifndef SOFTWATT_OS_SYSCALLS_HH
+#define SOFTWATT_OS_SYSCALLS_HH
+
+#include <cstdint>
+
+namespace softwatt
+{
+
+/** Syscall numbers issued by workload streams. */
+enum class SyscallId : std::uint16_t
+{
+    Read = 1,
+    Write,
+    Open,
+    Xstat,
+    DuPoll,
+    Bsd,
+    CacheFlush,
+};
+
+/**
+ * Pack an I/O syscall argument: file id (16 bits), byte offset
+ * (28 bits, so files up to 256 MB), transfer size (20 bits, up to
+ * 1 MB).
+ */
+inline std::uint64_t
+encodeIoArg(std::uint32_t file_id, std::uint64_t offset,
+            std::uint32_t bytes)
+{
+    return (std::uint64_t(file_id & 0xffff) << 48) |
+           ((offset & 0xfffffff) << 20) | (bytes & 0xfffff);
+}
+
+/** Unpack the file id. */
+inline std::uint32_t
+ioArgFileId(std::uint64_t arg)
+{
+    return std::uint32_t(arg >> 48) & 0xffff;
+}
+
+/** Unpack the byte offset. */
+inline std::uint64_t
+ioArgOffset(std::uint64_t arg)
+{
+    return (arg >> 20) & 0xfffffff;
+}
+
+/** Unpack the transfer size in bytes. */
+inline std::uint32_t
+ioArgBytes(std::uint64_t arg)
+{
+    return std::uint32_t(arg & 0xfffff);
+}
+
+} // namespace softwatt
+
+#endif // SOFTWATT_OS_SYSCALLS_HH

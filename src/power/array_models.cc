@@ -1,0 +1,113 @@
+#include "array_models.hh"
+
+#include "sim/logging.hh"
+
+namespace softwatt
+{
+
+ArrayEnergyModel::ArrayEnergyModel(const Technology &tech,
+                                   const ArrayGeometry &geom)
+    : tech(tech), geom(geom)
+{
+    if (geom.entries <= 0 || geom.widthBits <= 0 || geom.ports <= 0)
+        fatal("array geometry fields must be positive");
+}
+
+int
+ArrayEnergyModel::subbankRows() const
+{
+    return geom.entries < geom.maxRowsPerSubbank
+               ? geom.entries
+               : geom.maxRowsPerSubbank;
+}
+
+double
+ArrayEnergyModel::bitlineCapF() const
+{
+    // Each port adds a pass transistor per cell, so drain capacitance
+    // scales with the port count; wire capacitance scales with height.
+    double per_cell = (tech.cellDrainCapF * geom.ports +
+                       tech.bitlineWireCapF) *
+                      1e-15 * tech.featureScale();
+    return double(subbankRows()) * per_cell;
+}
+
+double
+ArrayEnergyModel::readEnergyNj() const
+{
+    double bitline = double(geom.widthBits) * bitlineCapF() * tech.vdd *
+                     (tech.bitlineSwing * tech.vdd);
+    double wordline = double(geom.widthBits) *
+                      (tech.cellGateCapF + tech.wordlineWireCapF) *
+                      1e-15 * tech.featureScale() * tech.vddSq();
+    double sense = double(geom.widthBits) * tech.senseAmpEnergyFj *
+                   1e-15 * (tech.vddSq() / (3.3 * 3.3));
+    return (bitline + wordline + sense) * 1e9;
+}
+
+double
+ArrayEnergyModel::writeEnergyNj() const
+{
+    // Writes drive roughly half the columns rail to rail.
+    double bitline = 0.5 * double(geom.widthBits) * bitlineCapF() *
+                     tech.vddSq();
+    double wordline = double(geom.widthBits) *
+                      (tech.cellGateCapF + tech.wordlineWireCapF) *
+                      1e-15 * tech.featureScale() * tech.vddSq();
+    return (bitline + wordline) * 1e9;
+}
+
+CamEnergyModel::CamEnergyModel(const Technology &tech,
+                               const CamGeometry &geom)
+    : tech(tech), geom(geom)
+{
+    if (geom.entries <= 0 || geom.tagBits <= 0)
+        fatal("CAM geometry fields must be positive");
+}
+
+double
+CamEnergyModel::searchEnergyNj() const
+{
+    // Tag broadcast: every entry's comparators plus the match wire.
+    double compare = double(geom.entries) * geom.tagBits *
+                     (tech.compareCapPerBitF + geom.broadcastWireCapF) *
+                     1e-15 * tech.featureScale() * tech.vddSq();
+    // Matched payload read: treat as a 1-port array row read.
+    double payload = double(geom.dataBits) *
+                     (tech.cellDrainCapF + tech.bitlineWireCapF) *
+                     1e-15 * tech.featureScale() * double(geom.entries) *
+                     tech.vdd * (tech.bitlineSwing * tech.vdd) /
+                     double(geom.entries > 0 ? geom.entries : 1);
+    return (compare + payload) * 1e9;
+}
+
+double
+CamEnergyModel::writeEnergyNj() const
+{
+    double cells = double(geom.tagBits + geom.dataBits) *
+                   (tech.cellDrainCapF + tech.bitlineWireCapF) * 1e-15 *
+                   tech.featureScale() * tech.vddSq();
+    return cells * 1e9 * 4.0;
+}
+
+double
+ClockEnergyModel::powerW(double activity) const
+{
+    if (activity < 0)
+        activity = 0;
+    if (activity > 1)
+        activity = 1;
+    double tree = treeCapNf * 1e-9 * tech.vddSq() * tech.freqHz();
+    double load =
+        loadCapNf * 1e-9 * tech.vddSq() * tech.freqHz() * activity;
+    return pllW + tree + load;
+}
+
+double
+PadEnergyModel::maxPowerW() const
+{
+    return double(signalPins) * padCapPf * 1e-12 * tech.vddSq() *
+           tech.freqHz() * maxSwitchingFraction;
+}
+
+} // namespace softwatt

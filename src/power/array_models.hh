@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Analytical energy models for the processor's non-cache structures:
+ * RAM arrays (register file, branch predictor tables), CAM-based
+ * associative structures (TLB, issue-window wakeup, LSQ search, as in
+ * Palacharla et al. [25] / Wattch [4]), functional units, result bus,
+ * the Duarte clock generation/distribution network [9], DRAM, and the
+ * external pad drivers used in the maximum-power validation.
+ */
+
+#ifndef SOFTWATT_POWER_ARRAY_MODELS_HH
+#define SOFTWATT_POWER_ARRAY_MODELS_HH
+
+#include "technology.hh"
+
+namespace softwatt
+{
+
+/** Geometry of a multi-ported RAM array. */
+struct ArrayGeometry
+{
+    int entries = 64;      ///< Number of rows.
+    int widthBits = 64;    ///< Row width in bits.
+    int ports = 2;         ///< Read + write ports (cap per cell scales).
+    int maxRowsPerSubbank = 512;
+};
+
+/**
+ * Multi-ported RAM array (register file, BHT, BTB, RAS).
+ *
+ * Same bitline-dominated decomposition as the cache model; each port
+ * adds its own bitlines and pass transistors, so the effective cell
+ * drain capacitance scales with the port count.
+ */
+class ArrayEnergyModel
+{
+  public:
+    ArrayEnergyModel(const Technology &tech, const ArrayGeometry &geom);
+
+    /** Per read access, nanojoules. */
+    double readEnergyNj() const;
+
+    /** Per write access, nanojoules (about half the columns flip). */
+    double writeEnergyNj() const;
+
+  private:
+    Technology tech;
+    ArrayGeometry geom;
+
+    double bitlineCapF() const;
+    int subbankRows() const;
+};
+
+/** Geometry of a CAM (fully associative search structure). */
+struct CamGeometry
+{
+    int entries = 64;     ///< Number of searchable entries.
+    int tagBits = 27;     ///< Match field width.
+    int dataBits = 40;    ///< Payload read on a match.
+
+    /** Broadcast wire capacitance per entry crossed, femtofarads. */
+    double broadcastWireCapF = 4.0;
+};
+
+/**
+ * CAM search energy: tag broadcast across every entry's comparators
+ * plus the matched payload read. Used for the TLB, the issue-window
+ * wakeup logic, and the LSQ address search.
+ */
+class CamEnergyModel
+{
+  public:
+    CamEnergyModel(const Technology &tech, const CamGeometry &geom);
+
+    /** Per search (broadcast + match + payload read), nanojoules. */
+    double searchEnergyNj() const;
+
+    /** Per entry write/update, nanojoules. */
+    double writeEnergyNj() const;
+
+  private:
+    Technology tech;
+    CamGeometry geom;
+};
+
+/**
+ * Functional-unit energy: an effective switched capacitance per
+ * operation, the standard architecture-level treatment.
+ */
+class FunctionalUnitEnergyModel
+{
+  public:
+    /**
+     * @param tech Process parameters.
+     * @param switched_cap_pf Effective switched capacitance per op.
+     */
+    FunctionalUnitEnergyModel(const Technology &tech,
+                              double switched_cap_pf)
+        : tech(tech), switchedCapPf(switched_cap_pf)
+    {}
+
+    /** Per operation, nanojoules. */
+    double
+    opEnergyNj() const
+    {
+        return switchedCapPf * 1e-12 * tech.vddSq() *
+               tech.featureScale() * 1e9;
+    }
+
+  private:
+    Technology tech;
+    double switchedCapPf;
+};
+
+/**
+ * Result bus: wire capacitance proportional to datapath span driven
+ * once per transferred result.
+ */
+class ResultBusEnergyModel
+{
+  public:
+    ResultBusEnergyModel(const Technology &tech, double wire_cap_pf)
+        : tech(tech), wireCapPf(wire_cap_pf)
+    {}
+
+    /** Per transfer, nanojoules. */
+    double
+    transferEnergyNj() const
+    {
+        return wireCapPf * 1e-12 * tech.vddSq() * tech.featureScale() *
+               1e9;
+    }
+
+  private:
+    Technology tech;
+    double wireCapPf;
+};
+
+/**
+ * Duarte et al. clock generation and distribution model [9]: an
+ * always-on PLL and global H-tree, plus a clocked load (latches,
+ * local buffers, precharge) whose power scales with the fraction of
+ * the machine's clocked capacitance that is active — SoftWatt's
+ * conditional clocking assumption applied to the clock network.
+ */
+class ClockEnergyModel
+{
+  public:
+    /**
+     * @param tech Process parameters.
+     * @param pll_w PLL / clock-generation power, watts (always on).
+     * @param tree_cap_nf Global distribution tree capacitance, nF.
+     * @param load_cap_nf Total clocked load capacitance, nF.
+     */
+    ClockEnergyModel(const Technology &tech, double pll_w = 0.205,
+                     double tree_cap_nf = 0.274,
+                     double load_cap_nf = 2.26)
+        : tech(tech), pllW(pll_w), treeCapNf(tree_cap_nf),
+          loadCapNf(load_cap_nf)
+    {}
+
+    /** Power at a given active-load fraction in [0,1], watts. */
+    double powerW(double activity) const;
+
+    /** Power with every clocked element active, watts. */
+    double maxPowerW() const { return powerW(1.0); }
+
+    /** Constant (PLL + tree) part, watts. */
+    double basePowerW() const { return powerW(0.0); }
+
+  private:
+    Technology tech;
+    double pllW;
+    double treeCapNf;
+    double loadCapNf;
+};
+
+/**
+ * DRAM main-memory energy: a per-access activation/transfer cost plus
+ * a constant background (refresh, control) power.
+ */
+class MemoryEnergyModel
+{
+  public:
+    explicit MemoryEnergyModel(double access_nj = 60.0,
+                               double background_w = 0.45)
+        : accessNj(access_nj), backgroundW(background_w)
+    {}
+
+    double accessEnergyNj() const { return accessNj; }
+    double backgroundPowerW() const { return backgroundW; }
+
+  private:
+    double accessNj;
+    double backgroundW;
+};
+
+/**
+ * External pad / system-interface drivers. The R10000's 3.3 V pad
+ * ring is a large share of its datasheet maximum power; it is part of
+ * the maximum-power validation but folded into L2/memory access
+ * energies in characterization (the paper's component list has no
+ * pad slice).
+ */
+class PadEnergyModel
+{
+  public:
+    PadEnergyModel(const Technology &tech, int signal_pins = 91,
+                   double pad_cap_pf = 50.0,
+                   double max_switching_fraction = 0.5)
+        : tech(tech), signalPins(signal_pins), padCapPf(pad_cap_pf),
+          maxSwitchingFraction(max_switching_fraction)
+    {}
+
+    /** Maximum sustained pad power, watts. */
+    double maxPowerW() const;
+
+  private:
+    Technology tech;
+    int signalPins;
+    double padCapPf;
+    double maxSwitchingFraction;
+};
+
+} // namespace softwatt
+
+#endif // SOFTWATT_POWER_ARRAY_MODELS_HH

@@ -1,0 +1,146 @@
+#include "cache_model.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace softwatt
+{
+
+namespace
+{
+
+/** Integer log2 for exact powers of two; fatal otherwise. */
+int
+exactLog2(std::uint64_t v)
+{
+    if (v == 0 || (v & (v - 1)) != 0)
+        fatal(msg() << "cache parameter " << v
+                    << " must be a power of two");
+    int n = 0;
+    while (v > 1) {
+        v >>= 1;
+        ++n;
+    }
+    return n;
+}
+
+} // namespace
+
+std::uint64_t
+CacheGeometry::sets() const
+{
+    std::uint64_t line_way = std::uint64_t(lineBytes) * ways;
+    if (line_way == 0 || sizeBytes % line_way != 0)
+        fatal("cache size must be a multiple of lineBytes * ways");
+    return sizeBytes / line_way;
+}
+
+int
+CacheGeometry::tagBits() const
+{
+    return addressBits - exactLog2(sets()) - exactLog2(lineBytes);
+}
+
+CacheEnergyModel::CacheEnergyModel(const Technology &tech,
+                                   const CacheGeometry &geom)
+    : tech(tech), geom(geom)
+{
+    if (geom.ways <= 0 || geom.lineBytes <= 0 || geom.accessBytes <= 0)
+        fatal("cache geometry fields must be positive");
+    (void)geom.sets();    // validate divisibility early
+    (void)geom.tagBits();  // validate power-of-two sets/lines early
+}
+
+std::uint64_t
+CacheEnergyModel::subbankRows() const
+{
+    std::uint64_t rows = geom.sets();
+    std::uint64_t max_rows = std::uint64_t(geom.maxRowsPerSubbank);
+    return rows < max_rows ? rows : max_rows;
+}
+
+double
+CacheEnergyModel::bitlineCapF() const
+{
+    double per_cell =
+        (tech.cellDrainCapF + tech.bitlineWireCapF) * 1e-15 *
+        tech.featureScale();
+    return double(subbankRows()) * per_cell;
+}
+
+std::uint64_t
+CacheEnergyModel::sensedDataColumns() const
+{
+    if (geom.readsFullLine)
+        return std::uint64_t(geom.lineBytes) * 8 * geom.ways;
+    return std::uint64_t(geom.accessBytes) * 8 * geom.ways;
+}
+
+CacheAccessEnergy
+CacheEnergyModel::accessEnergy(bool is_write) const
+{
+    CacheAccessEnergy e;
+    const double vdd_sq = tech.vddSq();
+    const double scale = tech.featureScale();
+
+    // Columns: sensed data columns plus all ways' tags.
+    std::uint64_t tag_columns =
+        std::uint64_t(geom.tagBits()) * geom.ways;
+    std::uint64_t data_columns =
+        is_write ? std::uint64_t(geom.accessBytes) * 8
+                 : sensedDataColumns();
+    std::uint64_t columns = data_columns + tag_columns;
+
+    // Bitlines: reads swing a fraction of Vdd on precharged lines,
+    // writes drive written columns rail to rail.
+    double swing = is_write ? tech.vdd : tech.bitlineSwing * tech.vdd;
+    e.bitlineNj =
+        double(columns) * bitlineCapF() * tech.vdd * swing * 1e9;
+
+    // Wordline: gate plus wire capacitance along the activated row of
+    // the subbank (all ways share the row in this organization).
+    std::uint64_t row_columns =
+        std::uint64_t(geom.lineBytes) * 8 * geom.ways + tag_columns;
+    double wl_cap = double(row_columns) *
+                    (tech.cellGateCapF + tech.wordlineWireCapF) * 1e-15 *
+                    scale;
+    e.wordlineNj = wl_cap * vdd_sq * 1e9;
+
+    // Decoder: address bits driving per-bank predecode lines.
+    int index_bits = 0;
+    for (std::uint64_t r = subbankRows(); r > 1; r >>= 1)
+        ++index_bits;
+    e.decodeNj = double(index_bits) * tech.decodeCapPerBitF * 1e-15 *
+                 scale * vdd_sq * 1e9 * 8.0;
+
+    // Sense amps: one per sensed column on reads.
+    if (!is_write) {
+        e.senseAmpNj = double(columns) * tech.senseAmpEnergyFj * 1e-15 *
+                       (vdd_sq / (3.3 * 3.3)) * 1e9;
+    }
+
+    // Tag comparators across all ways.
+    e.tagCompareNj = double(tag_columns) * tech.compareCapPerBitF *
+                     1e-15 * scale * vdd_sq * 1e9;
+
+    // Output drivers for the returned data.
+    e.outputNj = double(geom.accessBytes) * 8 * tech.outputCapPerBitF *
+                 1e-15 * scale * vdd_sq * 1e9;
+
+    return e;
+}
+
+CacheAccessEnergy
+CacheEnergyModel::readEnergy() const
+{
+    return accessEnergy(false);
+}
+
+CacheAccessEnergy
+CacheEnergyModel::writeEnergy() const
+{
+    return accessEnergy(true);
+}
+
+} // namespace softwatt

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Kamble & Ghose style analytical cache energy model [17], as used by
+ * Wattch [4] and the paper: per-access energy decomposed into decoder,
+ * wordline, bitline, sense amplifier, tag compare and output drive.
+ */
+
+#ifndef SOFTWATT_POWER_CACHE_MODEL_HH
+#define SOFTWATT_POWER_CACHE_MODEL_HH
+
+#include <cstdint>
+
+#include "technology.hh"
+
+namespace softwatt
+{
+
+/** Physical organization of a cache array. */
+struct CacheGeometry
+{
+    /** Total capacity in bytes. */
+    std::uint64_t sizeBytes = 32 * 1024;
+
+    /** Associativity. */
+    int ways = 2;
+
+    /** Line size in bytes. */
+    int lineBytes = 64;
+
+    /**
+     * Bytes driven out of the data array per access. Instruction
+     * caches stream whole line segments across all ways to the fetch
+     * buffer (no column multiplexing), data caches mux down to the
+     * requested word.
+     */
+    int accessBytes = 8;
+
+    /**
+     * True if a read senses the full line in every way (I-cache style
+     * wide fetch path); false if column muxing narrows the sensed
+     * columns to accessBytes per way.
+     */
+    bool readsFullLine = false;
+
+    /** Maximum rows per subbank before the array is split. */
+    int maxRowsPerSubbank = 512;
+
+    /** Physical address bits used for the tag computation. */
+    int addressBits = 40;
+
+    /** Number of sets (rows before subbanking). */
+    std::uint64_t sets() const;
+
+    /** Tag width in bits. */
+    int tagBits() const;
+};
+
+/** Per-access energy broken into the model's physical terms. */
+struct CacheAccessEnergy
+{
+    double decodeNj = 0;
+    double wordlineNj = 0;
+    double bitlineNj = 0;
+    double senseAmpNj = 0;
+    double tagCompareNj = 0;
+    double outputNj = 0;
+
+    double
+    totalNj() const
+    {
+        return decodeNj + wordlineNj + bitlineNj + senseAmpNj +
+               tagCompareNj + outputNj;
+    }
+};
+
+/**
+ * Analytical per-access energy for a set-associative SRAM cache.
+ *
+ * The model follows Kamble & Ghose: bitline energy dominates and is
+ * proportional to the number of sensed columns times the bitline
+ * capacitance (cell drains plus wire) swung through a reduced voltage
+ * on reads or rail-to-rail on writes.
+ */
+class CacheEnergyModel
+{
+  public:
+    CacheEnergyModel(const Technology &tech, const CacheGeometry &geom);
+
+    /** Energy terms for a read access. */
+    CacheAccessEnergy readEnergy() const;
+
+    /** Energy terms for a write access (full-swing written columns). */
+    CacheAccessEnergy writeEnergy() const;
+
+    /** Convenience: total read energy in nanojoules. */
+    double readEnergyNj() const { return readEnergy().totalNj(); }
+
+    /** Convenience: total write energy in nanojoules. */
+    double writeEnergyNj() const { return writeEnergy().totalNj(); }
+
+    const CacheGeometry &geometry() const { return geom; }
+
+  private:
+    Technology tech;
+    CacheGeometry geom;
+
+    /** Rows per subbank after splitting. */
+    std::uint64_t subbankRows() const;
+
+    /** Bitline capacitance per column in farads. */
+    double bitlineCapF() const;
+
+    /** Number of data columns sensed on a read. */
+    std::uint64_t sensedDataColumns() const;
+
+    CacheAccessEnergy accessEnergy(bool is_write) const;
+};
+
+} // namespace softwatt
+
+#endif // SOFTWATT_POWER_CACHE_MODEL_HH

@@ -1,0 +1,25 @@
+#include "components.hh"
+
+#include "sim/logging.hh"
+
+namespace softwatt
+{
+
+const char *
+componentName(Component c)
+{
+    switch (c) {
+      case Component::Datapath: return "Datapath";
+      case Component::L1DCache: return "L1 D-Cache";
+      case Component::L2DCache: return "L2 D-Cache";
+      case Component::L1ICache: return "L1 I-Cache";
+      case Component::L2ICache: return "L2 I-Cache";
+      case Component::Clock: return "Clock";
+      case Component::Memory: return "Memory";
+      case Component::Disk: return "Disk";
+      case Component::NumComponents: break;
+    }
+    panic("componentName: invalid component");
+}
+
+} // namespace softwatt

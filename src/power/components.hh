@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Reporting components: the slices of the paper's power-budget pies.
+ */
+
+#ifndef SOFTWATT_POWER_COMPONENTS_HH
+#define SOFTWATT_POWER_COMPONENTS_HH
+
+#include <array>
+#include <cstdint>
+
+namespace softwatt
+{
+
+/**
+ * Hardware components as reported in the paper's figures: the
+ * datapath lump (LSQ, issue window, rename, result bus, register
+ * file, ALUs), the four cache slices, clock, memory and disk.
+ */
+enum class Component : std::uint8_t
+{
+    Datapath = 0,
+    L1DCache,
+    L2DCache,
+    L1ICache,
+    L2ICache,
+    Clock,
+    Memory,
+    Disk,
+    NumComponents,
+};
+
+/** Number of reporting components. */
+constexpr int numComponents = static_cast<int>(Component::NumComponents);
+
+/** Display name matching the paper's legends. */
+const char *componentName(Component c);
+
+/** All components in legend order. */
+constexpr std::array<Component, numComponents> allComponents = {
+    Component::Datapath, Component::L1DCache, Component::L2DCache,
+    Component::L1ICache, Component::L2ICache, Component::Clock,
+    Component::Memory, Component::Disk,
+};
+
+} // namespace softwatt
+
+#endif // SOFTWATT_POWER_COMPONENTS_HH

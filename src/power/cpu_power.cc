@@ -1,0 +1,169 @@
+#include "cpu_power.hh"
+
+#include <cmath>
+
+namespace softwatt
+{
+
+UnitEnergies
+UnitEnergies::calibrated()
+{
+    return UnitEnergies{};
+}
+
+UnitEnergies
+UnitEnergies::fromModels(const Technology &tech,
+                         const MachineParams &machine)
+{
+    UnitEnergies e;
+
+    CacheGeometry il1;
+    il1.sizeBytes = machine.icache.sizeBytes;
+    il1.ways = machine.icache.ways;
+    il1.lineBytes = machine.icache.lineBytes;
+    il1.accessBytes = 4 * machine.fetchWidth;
+    il1.readsFullLine = true;
+    e.il1ReadNj = CacheEnergyModel(tech, il1).readEnergyNj();
+
+    CacheGeometry dl1;
+    dl1.sizeBytes = machine.dcache.sizeBytes;
+    dl1.ways = machine.dcache.ways;
+    dl1.lineBytes = machine.dcache.lineBytes;
+    dl1.accessBytes = 8;
+    dl1.readsFullLine = false;
+    e.dl1AccessNj = CacheEnergyModel(tech, dl1).readEnergyNj();
+
+    CacheGeometry l2;
+    l2.sizeBytes = machine.l2cache.sizeBytes;
+    l2.ways = machine.l2cache.ways;
+    l2.lineBytes = machine.l2cache.lineBytes;
+    l2.accessBytes = machine.icache.lineBytes;
+    l2.readsFullLine = false;
+    e.l2AccessNj = CacheEnergyModel(tech, l2).readEnergyNj();
+
+    CamGeometry tlb;
+    tlb.entries = machine.tlbEntries;
+    tlb.tagBits = 27;
+    tlb.dataBits = 40;
+    tlb.broadcastWireCapF = 1.0;
+    e.tlbSearchNj = CamEnergyModel(tech, tlb).searchEnergyNj();
+    e.tlbWriteNj = CamEnergyModel(tech, tlb).writeEnergyNj();
+
+    CamGeometry window;
+    window.entries = machine.instWindowSize;
+    window.tagBits = 2 * 8;   // two source tags broadcast per op
+    window.dataBits = 64;     // payload read at issue
+    window.broadcastWireCapF = 12.0;
+    e.issueWindowOpNj = CamEnergyModel(tech, window).searchEnergyNj();
+
+    ArrayGeometry rename;
+    rename.entries = machine.intRegs + machine.fpRegs;
+    rename.widthBits = 8;
+    rename.ports = machine.decodeWidth * 2;
+    e.renameOpNj = ArrayEnergyModel(tech, rename).readEnergyNj() +
+                   ArrayEnergyModel(tech, rename).writeEnergyNj();
+
+    ArrayGeometry regfile;
+    regfile.entries = machine.intRegs + machine.fpRegs;
+    regfile.widthBits = 64;
+    // Port count sized for the issue width: two reads and one write
+    // per issued instruction.
+    regfile.ports = 3 * machine.issueWidth - 3;
+    ArrayEnergyModel rf(tech, regfile);
+    e.regfileReadNj = rf.readEnergyNj();
+    e.regfileWriteNj = rf.writeEnergyNj();
+
+    CamGeometry lsq;
+    lsq.entries = machine.lsqSize;
+    lsq.tagBits = 40;
+    lsq.dataBits = 64;
+    lsq.broadcastWireCapF = 8.0;
+    e.lsqOpNj = CamEnergyModel(tech, lsq).searchEnergyNj();
+
+    // Effective switched capacitance per 64-bit operation.
+    e.intAluOpNj = FunctionalUnitEnergyModel(tech, 119.0).opEnergyNj();
+    e.fpAluOpNj = FunctionalUnitEnergyModel(tech, 202.0).opEnergyNj();
+    e.resultBusNj = ResultBusEnergyModel(tech, 41.0).transferEnergyNj();
+
+    ArrayGeometry bht;
+    bht.entries = machine.bhtEntries;
+    bht.widthBits = 2;
+    bht.ports = 2;
+    e.bhtRefNj = ArrayEnergyModel(tech, bht).readEnergyNj() * 4.0;
+
+    ArrayGeometry btb;
+    btb.entries = machine.btbEntries;
+    btb.widthBits = 70;
+    btb.ports = 2;
+    e.btbRefNj = ArrayEnergyModel(tech, btb).readEnergyNj();
+
+    ArrayGeometry ras;
+    ras.entries = machine.rasEntries;
+    ras.widthBits = 40;
+    ras.ports = 1;
+    e.rasRefNj = ArrayEnergyModel(tech, ras).readEnergyNj();
+
+    e.memAccessNj = 60.0;
+    return e;
+}
+
+PortCounts
+PortCounts::fromMachine(const MachineParams &machine)
+{
+    PortCounts p;
+    p.il1 = machine.fetchWidth;
+    p.dl1 = 2;
+    p.l2 = 1;
+    p.tlb = 2;
+    p.issueWindow = machine.decodeWidth + machine.issueWidth;
+    p.rename = machine.decodeWidth;
+    p.regRead = 2 * machine.issueWidth;
+    p.regWrite = machine.commitWidth;
+    p.intAlu = machine.intAlus;
+    p.fpAlu = machine.fpAlus;
+    p.lsq = 2;
+    p.resultBus = machine.issueWidth;
+    p.bht = 2;
+    p.btb = 2;
+    p.ras = 1;
+    p.mem = 0.25;
+    return p;
+}
+
+CpuPowerModel::CpuPowerModel(const MachineParams &machine,
+                             bool use_calibrated)
+    : tech(Technology{machine.featureSizeUm, machine.vdd,
+                      machine.freqMhz}),
+      machine(machine),
+      units(use_calibrated ? UnitEnergies::calibrated()
+                           : UnitEnergies::fromModels(tech, machine)),
+      portCounts(PortCounts::fromMachine(machine)),
+      clock(tech),
+      memory(),
+      pads(tech)
+{
+}
+
+double
+CpuPowerModel::maxUnitPowerW() const
+{
+    const UnitEnergies &e = units;
+    const PortCounts &p = portCounts;
+    double per_cycle_nj =
+        p.il1 * e.il1ReadNj + p.dl1 * e.dl1AccessNj +
+        p.l2 * e.l2AccessNj + p.tlb * e.tlbSearchNj +
+        p.issueWindow * e.issueWindowOpNj + p.rename * e.renameOpNj +
+        p.regRead * e.regfileReadNj + p.regWrite * e.regfileWriteNj +
+        p.intAlu * e.intAluOpNj + p.fpAlu * e.fpAluOpNj +
+        p.lsq * e.lsqOpNj + p.resultBus * e.resultBusNj +
+        p.bht * e.bhtRefNj + p.btb * e.btbRefNj + p.ras * e.rasRefNj;
+    return per_cycle_nj * 1e-9 * tech.freqHz();
+}
+
+double
+CpuPowerModel::maxPowerW() const
+{
+    return maxUnitPowerW() + clock.maxPowerW() + pads.maxPowerW();
+}
+
+} // namespace softwatt

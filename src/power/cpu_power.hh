@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Aggregate CPU power model: per-access energies for every counted
+ * unit, port counts, and the maximum-power validation experiment.
+ */
+
+#ifndef SOFTWATT_POWER_CPU_POWER_HH
+#define SOFTWATT_POWER_CPU_POWER_HH
+
+#include "sim/machine_params.hh"
+
+#include "array_models.hh"
+#include "cache_model.hh"
+#include "technology.hh"
+
+namespace softwatt
+{
+
+/**
+ * Per-access energies (nanojoules) for every unit the counter schema
+ * tracks. Produced either analytically from the structure models or
+ * from the calibrated preset that reproduces the paper's validation
+ * point (25.3 W maximum for the R10000 configuration).
+ */
+struct UnitEnergies
+{
+    double il1ReadNj = 6.99;
+    double dl1AccessNj = 1.16;
+    double l2AccessNj = 15.1;
+    double tlbSearchNj = 0.137;
+    double tlbWriteNj = 0.206;
+    double issueWindowOpNj = 0.617;
+    double renameOpNj = 0.343;
+    double regfileReadNj = 0.48;
+    double regfileWriteNj = 0.685;
+    double intAluOpNj = 1.78;
+    double fpAluOpNj = 3.01;
+    double lsqOpNj = 0.822;
+    double resultBusNj = 0.617;
+    double bhtRefNj = 0.206;
+    double btbRefNj = 0.274;
+    double rasRefNj = 0.069;
+    double memAccessNj = 60.0;
+
+    /**
+     * The calibrated preset: per-access energies tuned, via the
+     * maximum-power validation, to the paper's process point. This is
+     * the configuration every reproduction experiment uses.
+     */
+    static UnitEnergies calibrated();
+
+    /**
+     * Derive energies from the analytical structure models for an
+     * arbitrary machine/technology. Used for design-space exploration
+     * and to sanity-check the calibrated preset.
+     */
+    static UnitEnergies fromModels(const Technology &tech,
+                                   const MachineParams &machine);
+};
+
+/** Peak per-cycle port/access counts used for maximum power. */
+struct PortCounts
+{
+    double il1 = 4;      ///< Fetch width.
+    double dl1 = 2;      ///< D-cache ports.
+    double l2 = 1;
+    double tlb = 2;
+    double issueWindow = 8;   ///< Dispatch + issue per cycle.
+    double rename = 4;
+    double regRead = 8;
+    double regWrite = 4;
+    double intAlu = 2;
+    double fpAlu = 2;
+    double lsq = 2;
+    double resultBus = 4;
+    double bht = 2;
+    double btb = 2;
+    double ras = 1;
+    double mem = 0.25;   ///< Bus-limited memory accesses per cycle.
+
+    /** Port counts implied by a machine configuration. */
+    static PortCounts fromMachine(const MachineParams &machine);
+};
+
+/**
+ * The complete CPU power model: unit energies, port counts, clock,
+ * memory and pad submodels, and the maximum-power computation used
+ * for the R10000 validation experiment in Section 2 of the paper.
+ */
+class CpuPowerModel
+{
+  public:
+    /**
+     * Build the model for a machine.
+     *
+     * @param machine Architectural configuration (Table 1 defaults).
+     * @param use_calibrated Use the calibrated preset (the paper's
+     *        reproduction path) instead of raw analytical energies.
+     */
+    explicit CpuPowerModel(const MachineParams &machine,
+                           bool use_calibrated = true);
+
+    const UnitEnergies &energies() const { return units; }
+    const PortCounts &ports() const { return portCounts; }
+    const Technology &technology() const { return tech; }
+    const ClockEnergyModel &clockModel() const { return clock; }
+    const MemoryEnergyModel &memoryModel() const { return memory; }
+
+    /**
+     * Maximum sustained CPU power in watts: every port of every unit
+     * accessed each cycle, clock fully loaded, pads switching at the
+     * maximum rate. The paper reports 25.3 W for the R10000
+     * configuration against the 30 W datasheet value.
+     */
+    double maxPowerW() const;
+
+    /** Max-power contribution of the core units only (no clock/pads). */
+    double maxUnitPowerW() const;
+
+  private:
+    Technology tech;
+    MachineParams machine;
+    UnitEnergies units;
+    PortCounts portCounts;
+    ClockEnergyModel clock;
+    MemoryEnergyModel memory;
+    PadEnergyModel pads;
+};
+
+} // namespace softwatt
+
+#endif // SOFTWATT_POWER_CPU_POWER_HH

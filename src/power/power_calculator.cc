@@ -1,0 +1,294 @@
+#include "power_calculator.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace softwatt
+{
+
+Cycles
+PowerBreakdown::totalCycles() const
+{
+    Cycles sum = 0;
+    for (Cycles c : cycles)
+        sum += c;
+    return sum;
+}
+
+double
+PowerBreakdown::seconds() const
+{
+    return double(totalCycles()) / freqHz;
+}
+
+double
+PowerBreakdown::cpuMemEnergyJ() const
+{
+    double sum = 0;
+    for (int m = 0; m < numExecModes; ++m)
+        for (int c = 0; c < numComponents; ++c)
+            if (Component(c) != Component::Disk)
+                sum += energyJ[m][c];
+    return sum;
+}
+
+double
+PowerBreakdown::modeEnergyJ(ExecMode mode) const
+{
+    double sum = 0;
+    const auto &row = energyJ[int(mode)];
+    for (int c = 0; c < numComponents; ++c)
+        if (Component(c) != Component::Disk)
+            sum += row[c];
+    return sum;
+}
+
+double
+PowerBreakdown::componentEnergyJ(Component c) const
+{
+    if (c == Component::Disk)
+        return diskEnergyJ;
+    double sum = 0;
+    for (int m = 0; m < numExecModes; ++m)
+        sum += energyJ[m][int(c)];
+    return sum;
+}
+
+double
+PowerBreakdown::componentAvgPowerW(Component c) const
+{
+    double s = seconds();
+    return s > 0 ? componentEnergyJ(c) / s : 0;
+}
+
+double
+PowerBreakdown::modeAvgPowerW(ExecMode mode) const
+{
+    double s = double(cycles[int(mode)]) / freqHz;
+    return s > 0 ? modeEnergyJ(mode) / s : 0;
+}
+
+double
+PowerBreakdown::modeComponentPowerW(ExecMode mode, Component c) const
+{
+    double s = double(cycles[int(mode)]) / freqHz;
+    return s > 0 ? energyJ[int(mode)][int(c)] / s : 0;
+}
+
+double
+PowerBreakdown::systemAvgPowerW() const
+{
+    double s = seconds();
+    return s > 0 ? (cpuMemEnergyJ() + diskEnergyJ) / s : 0;
+}
+
+double
+PowerBreakdown::componentSharePct(Component c) const
+{
+    double total = cpuMemEnergyJ() + diskEnergyJ;
+    return total > 0 ? 100.0 * componentEnergyJ(c) / total : 0;
+}
+
+void
+PowerBreakdown::accumulate(const PowerBreakdown &other)
+{
+    for (int m = 0; m < numExecModes; ++m) {
+        cycles[m] += other.cycles[m];
+        for (int c = 0; c < numComponents; ++c)
+            energyJ[m][c] += other.energyJ[m][c];
+    }
+    diskEnergyJ += other.diskEnergyJ;
+}
+
+PowerCalculator::PowerCalculator(const CpuPowerModel &model,
+                                 bool conditional_clocking)
+    : powerModel(model), conditionalClocking(conditional_clocking)
+{
+}
+
+namespace
+{
+
+/** Unit duty cycle, clipped to [0,1]. */
+double
+duty(std::uint64_t refs, double ports, Cycles cycles)
+{
+    if (cycles == 0 || ports <= 0)
+        return 0;
+    double d = double(refs) / (ports * double(cycles));
+    return std::min(d, 1.0);
+}
+
+} // namespace
+
+double
+PowerCalculator::clockActivity(const CounterBank &bank, ExecMode mode,
+                               Cycles mode_cycles) const
+{
+    if (mode_cycles == 0)
+        return 0;
+    const PortCounts &p = powerModel.ports();
+    auto ref = [&](CounterId id) { return bank.get(mode, id); };
+
+    // Weights: each clocked unit's share of the machine's clocked
+    // capacitance (fetch path, datapath structures, memory pipes).
+    double activity = 0;
+    activity += 0.20 * duty(ref(CounterId::IL1Ref), p.il1, mode_cycles);
+    activity += 0.05 * duty(ref(CounterId::DL1Ref), p.dl1, mode_cycles);
+    activity += 0.20 * duty(ref(CounterId::IssueWindowOp),
+                            p.issueWindow, mode_cycles);
+    activity += 0.05 * duty(ref(CounterId::RenameOp), p.rename,
+                            mode_cycles);
+    activity += 0.15 * duty(ref(CounterId::RegFileRead) +
+                                ref(CounterId::RegFileWrite),
+                            p.regRead + p.regWrite, mode_cycles);
+    activity += 0.15 * duty(ref(CounterId::IntAluOp) +
+                                ref(CounterId::FpAluOp),
+                            p.intAlu + p.fpAlu, mode_cycles);
+    activity += 0.05 * duty(ref(CounterId::LsqOp), p.lsq, mode_cycles);
+    activity += 0.10 * duty(ref(CounterId::ResultBusOp), p.resultBus,
+                            mode_cycles);
+    activity += 0.05 * duty(ref(CounterId::BhtRef) +
+                                ref(CounterId::BtbRef),
+                            p.bht + p.btb, mode_cycles);
+    return std::min(activity, 1.0);
+}
+
+ComponentEnergy
+PowerCalculator::energiesForMode(const CounterBank &bank, ExecMode mode,
+                                 Cycles mode_cycles) const
+{
+    const UnitEnergies &e = powerModel.energies();
+    const double nj = 1e-9;
+    auto ref = [&](CounterId id) { return double(bank.get(mode, id)); };
+
+    ComponentEnergy out{};
+
+    out[int(Component::L1ICache)] = ref(CounterId::IL1Ref) *
+                                    e.il1ReadNj * nj;
+    out[int(Component::L1DCache)] = ref(CounterId::DL1Ref) *
+                                    e.dl1AccessNj * nj;
+    out[int(Component::L2ICache)] = ref(CounterId::L2IRef) *
+                                    e.l2AccessNj * nj;
+    out[int(Component::L2DCache)] = ref(CounterId::L2DRef) *
+                                    e.l2AccessNj * nj;
+
+    double datapath =
+        ref(CounterId::TlbRef) * e.tlbSearchNj +
+        ref(CounterId::TlbMiss) * e.tlbWriteNj +
+        ref(CounterId::IssueWindowOp) * e.issueWindowOpNj +
+        ref(CounterId::RenameOp) * e.renameOpNj +
+        ref(CounterId::RegFileRead) * e.regfileReadNj +
+        ref(CounterId::RegFileWrite) * e.regfileWriteNj +
+        ref(CounterId::IntAluOp) * e.intAluOpNj +
+        ref(CounterId::FpAluOp) * e.fpAluOpNj +
+        ref(CounterId::LsqOp) * e.lsqOpNj +
+        ref(CounterId::ResultBusOp) * e.resultBusNj +
+        ref(CounterId::BhtRef) * e.bhtRefNj +
+        ref(CounterId::BtbRef) * e.btbRefNj +
+        ref(CounterId::RasRef) * e.rasRefNj;
+    out[int(Component::Datapath)] = datapath * nj;
+
+    double seconds =
+        double(mode_cycles) / powerModel.technology().freqHz();
+
+    // Memory: per-access energy plus background power for the mode's
+    // share of wall-clock time.
+    out[int(Component::Memory)] =
+        ref(CounterId::MemRef) * e.memAccessNj * nj +
+        powerModel.memoryModel().backgroundPowerW() * seconds;
+
+    // Clock: conditional-clocking load scaled by unit duty cycles
+    // (or fully loaded under the always-clocked ablation).
+    double activity = conditionalClocking
+                          ? clockActivity(bank, mode, mode_cycles)
+                          : 1.0;
+    out[int(Component::Clock)] =
+        powerModel.clockModel().powerW(activity) * seconds;
+
+    return out;
+}
+
+PowerTrace
+PowerCalculator::process(const SampleLog &log) const
+{
+    PowerTrace trace;
+    trace.total.freqHz = powerModel.technology().freqHz();
+
+    for (const SampleRecord &rec : log.all()) {
+        WindowPower wp;
+        wp.startTick = rec.startTick;
+        wp.endTick = rec.endTick;
+
+        double window_seconds =
+            double(rec.length()) / trace.total.freqHz;
+
+        for (ExecMode mode : allExecModes) {
+            int m = int(mode);
+            Cycles mode_cycles =
+                rec.counters.get(mode, CounterId::Cycles);
+            wp.cycles[m] = mode_cycles;
+            trace.total.cycles[m] += mode_cycles;
+
+            ComponentEnergy energy =
+                energiesForMode(rec.counters, mode, mode_cycles);
+            double mode_energy = 0;
+            for (int c = 0; c < numComponents; ++c) {
+                trace.total.energyJ[m][c] += energy[c];
+                mode_energy += energy[c];
+                if (window_seconds > 0)
+                    wp.componentPowerW[c] += energy[c] / window_seconds;
+            }
+            double mode_seconds =
+                double(mode_cycles) / trace.total.freqHz;
+            wp.modePowerW[m] =
+                mode_seconds > 0 ? mode_energy / mode_seconds : 0;
+        }
+        trace.windows.push_back(wp);
+    }
+    return trace;
+}
+
+double
+peakWindowPowerW(const PowerTrace &trace)
+{
+    double peak = 0;
+    for (const WindowPower &wp : trace.windows) {
+        double len = double(wp.endTick - wp.startTick);
+        if (len <= 0)
+            continue;
+        double power = 0;
+        for (int m = 0; m < numExecModes; ++m)
+            power += wp.modePowerW[m] * double(wp.cycles[m]) / len;
+        if (power > peak)
+            peak = power;
+    }
+    return peak;
+}
+
+double
+PowerCalculator::totalEnergyJ(const CounterBank &bank) const
+{
+    ComponentEnergy energy = componentEnergiesOf(bank);
+    double sum = 0;
+    for (double e : energy)
+        sum += e;
+    return sum;
+}
+
+ComponentEnergy
+PowerCalculator::componentEnergiesOf(const CounterBank &bank) const
+{
+    ComponentEnergy out{};
+    for (ExecMode mode : allExecModes) {
+        Cycles mode_cycles = bank.get(mode, CounterId::Cycles);
+        ComponentEnergy energy =
+            energiesForMode(bank, mode, mode_cycles);
+        for (int c = 0; c < numComponents; ++c)
+            out[c] += energy[c];
+    }
+    return out;
+}
+
+} // namespace softwatt

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * The post-processing power pass: turns sampled counter logs into
+ * per-mode, per-component energy and power, mirroring the paper's
+ * log-file post-processing design (Section 2).
+ */
+
+#ifndef SOFTWATT_POWER_POWER_CALCULATOR_HH
+#define SOFTWATT_POWER_POWER_CALCULATOR_HH
+
+#include <array>
+#include <vector>
+
+#include "sim/counters.hh"
+#include "sim/sample_log.hh"
+#include "sim/types.hh"
+
+#include "components.hh"
+#include "cpu_power.hh"
+
+namespace softwatt
+{
+
+/** Energy per reporting component, joules. */
+using ComponentEnergy = std::array<double, numComponents>;
+
+/**
+ * Totals of a power pass: energy per (mode, component), cycles per
+ * mode, and the clock frequency needed to convert to power.
+ */
+struct PowerBreakdown
+{
+    /** Energy in joules, indexed [mode][component]. */
+    std::array<ComponentEnergy, numExecModes> energyJ{};
+
+    /** Cycles spent per mode. */
+    std::array<Cycles, numExecModes> cycles{};
+
+    /** Core clock in hertz (for power conversion). */
+    double freqHz = 200e6;
+
+    /** Disk energy in joules (not mode-attributed). */
+    double diskEnergyJ = 0;
+
+    Cycles totalCycles() const;
+    double seconds() const;
+
+    /** Total CPU + memory-hierarchy energy (no disk), joules. */
+    double cpuMemEnergyJ() const;
+
+    /** Energy of one mode across components (no disk), joules. */
+    double modeEnergyJ(ExecMode mode) const;
+
+    /** Energy of one component across modes, joules (incl. disk). */
+    double componentEnergyJ(Component c) const;
+
+    /** Average power of one component over the whole run, watts. */
+    double componentAvgPowerW(Component c) const;
+
+    /** Average CPU+memory power while executing in a mode, watts. */
+    double modeAvgPowerW(ExecMode mode) const;
+
+    /** Per-component average power within one mode, watts. */
+    double modeComponentPowerW(ExecMode mode, Component c) const;
+
+    /** Whole-system average power including disk, watts. */
+    double systemAvgPowerW() const;
+
+    /** Component share of the whole-system average power, percent. */
+    double componentSharePct(Component c) const;
+
+    /** Element-wise accumulate another breakdown. */
+    void accumulate(const PowerBreakdown &other);
+};
+
+/** Per-window results for time-series profiles (Figs. 3 and 4). */
+struct WindowPower
+{
+    Tick startTick = 0;
+    Tick endTick = 0;
+    std::array<Cycles, numExecModes> cycles{};
+
+    /** Average CPU+memory power of each mode over the window, W. */
+    std::array<double, numExecModes> modePowerW{};
+
+    /** Average power of each component over the window, W. */
+    ComponentEnergy componentPowerW{};
+};
+
+/** Full output of a power pass: totals plus the window series. */
+struct PowerTrace
+{
+    PowerBreakdown total;
+    std::vector<WindowPower> windows;
+};
+
+/**
+ * The analytical power pass.
+ *
+ * Applies the unit energy models to sampled counters; implements the
+ * conditional clocking assumption (a unit consumes access energy only
+ * when exercised; the clock load scales with the fraction of clocked
+ * capacitance active).
+ */
+class PowerCalculator
+{
+  public:
+    /**
+     * @param model Unit energies and submodels.
+     * @param conditional_clocking When false (ablation), the clock
+     *        load is charged at full activity every cycle instead of
+     *        scaling with unit duty cycles.
+     */
+    explicit PowerCalculator(const CpuPowerModel &model,
+                             bool conditional_clocking = true);
+
+    /**
+     * Energy of one mode's counters accumulated over @p mode_cycles
+     * cycles, per component (datapath/caches/clock/memory), joules.
+     */
+    ComponentEnergy energiesForMode(const CounterBank &bank,
+                                    ExecMode mode,
+                                    Cycles mode_cycles) const;
+
+    /**
+     * Clock-load activity in [0,1] for one mode's counters: the
+     * duty-cycle of each clocked unit weighted by its share of the
+     * clocked capacitance.
+     */
+    double clockActivity(const CounterBank &bank, ExecMode mode,
+                         Cycles mode_cycles) const;
+
+    /** Run the full pass over a sample log. */
+    PowerTrace process(const SampleLog &log) const;
+
+    /**
+     * Total CPU+memory energy of a counter bank, joules. Used for
+     * online per-invocation service energy accounting.
+     */
+    double totalEnergyJ(const CounterBank &bank) const;
+
+    /**
+     * Per-component CPU+memory energy of a counter bank summed over
+     * all modes, joules (Figure 8's per-service component split).
+     */
+    ComponentEnergy componentEnergiesOf(const CounterBank &bank) const;
+
+    const CpuPowerModel &model() const { return powerModel; }
+
+  private:
+    const CpuPowerModel &powerModel;
+    bool conditionalClocking;
+};
+
+/**
+ * Peak CPU+memory power over the trace's sampling windows, watts.
+ * The paper notes the tool can report peak as well as average power.
+ */
+double peakWindowPowerW(const PowerTrace &trace);
+
+} // namespace softwatt
+
+#endif // SOFTWATT_POWER_POWER_CALCULATOR_HH

@@ -1,0 +1,12 @@
+#include "technology.hh"
+
+namespace softwatt
+{
+
+Technology
+r10000Technology()
+{
+    return Technology{};
+}
+
+} // namespace softwatt

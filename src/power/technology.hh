@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Process-technology parameters and derived electrical constants.
+ *
+ * All analytical energy models in SoftWatt are parameterized by a
+ * Technology record (feature size, supply voltage, clock frequency)
+ * from which per-structure capacitances are derived, following the
+ * style of Kamble & Ghose [17] and Wattch [4]. The default instance
+ * is the paper's 0.35 um / 3.3 V / 200 MHz R10000-class process.
+ */
+
+#ifndef SOFTWATT_POWER_TECHNOLOGY_HH
+#define SOFTWATT_POWER_TECHNOLOGY_HH
+
+namespace softwatt
+{
+
+/**
+ * Electrical process parameters.
+ *
+ * Capacitance constants are expressed per drawn feature at the
+ * reference 0.35 um node and scaled linearly with feature size, the
+ * usual first-order treatment at architecture level. The constants
+ * were calibrated so that the aggregate CPU model configured as an
+ * R10000 dissipates ~25 W maximum against the 30 W datasheet value,
+ * mirroring the paper's validation experiment.
+ */
+struct Technology
+{
+    /** Drawn feature size in micrometers. */
+    double featureSizeUm = 0.35;
+
+    /** Supply voltage in volts. */
+    double vdd = 3.3;
+
+    /** Core clock frequency in MHz. */
+    double freqMhz = 200.0;
+
+    /** Bitline voltage swing as a fraction of Vdd for reads. */
+    double bitlineSwing = 0.45;
+
+    /**
+     * Drain capacitance a memory cell adds to its bitline, in
+     * femtofarads, at the reference node.
+     */
+    double cellDrainCapF = 2.9;
+
+    /** Bitline metal capacitance per cell pitch, fF. */
+    double bitlineWireCapF = 0.9;
+
+    /** Gate capacitance a cell presents to its wordline, fF. */
+    double cellGateCapF = 1.8;
+
+    /** Wordline metal capacitance per cell pitch, fF. */
+    double wordlineWireCapF = 0.7;
+
+    /** Sense-amplifier energy per sensed column, fJ at Vdd=3.3. */
+    double senseAmpEnergyFj = 110.0;
+
+    /** Comparator (CAM / tag match) capacitance per bit, fF. */
+    double compareCapPerBitF = 3.4;
+
+    /** Output-driver capacitance per bit of access width, fF. */
+    double outputCapPerBitF = 24.0;
+
+    /** Decoder capacitance per address bit per row bank, fF. */
+    double decodeCapPerBitF = 5.8;
+
+    /** Clock cycle time in nanoseconds. */
+    double cycleNs() const { return 1000.0 / freqMhz; }
+
+    /** Clock frequency in hertz. */
+    double freqHz() const { return freqMhz * 1.0e6; }
+
+    /** Linear feature-size scale factor relative to 0.35 um. */
+    double featureScale() const { return featureSizeUm / 0.35; }
+
+    /** Voltage-squared energy scale, joules per farad: Vdd^2. */
+    double vddSq() const { return vdd * vdd; }
+};
+
+/** The paper's Table 1 process point: 0.35 um, 3.3 V, 200 MHz. */
+Technology r10000Technology();
+
+} // namespace softwatt
+
+#endif // SOFTWATT_POWER_TECHNOLOGY_HH

@@ -1,0 +1,70 @@
+#include "counters.hh"
+
+#include "logging.hh"
+
+namespace softwatt
+{
+
+const char *
+counterName(CounterId id)
+{
+    switch (id) {
+      case CounterId::Cycles: return "cycles";
+      case CounterId::CommitCycles: return "commit_cycles";
+      case CounterId::FetchedInsts: return "fetched_insts";
+      case CounterId::CommittedInsts: return "committed_insts";
+      case CounterId::IL1Ref: return "il1_ref";
+      case CounterId::IL1Miss: return "il1_miss";
+      case CounterId::DL1Ref: return "dl1_ref";
+      case CounterId::DL1Miss: return "dl1_miss";
+      case CounterId::L2IRef: return "l2i_ref";
+      case CounterId::L2DRef: return "l2d_ref";
+      case CounterId::L2Miss: return "l2_miss";
+      case CounterId::MemRef: return "mem_ref";
+      case CounterId::TlbRef: return "tlb_ref";
+      case CounterId::TlbMiss: return "tlb_miss";
+      case CounterId::IntAluOp: return "int_alu_op";
+      case CounterId::FpAluOp: return "fp_alu_op";
+      case CounterId::RegFileRead: return "regfile_read";
+      case CounterId::RegFileWrite: return "regfile_write";
+      case CounterId::RenameOp: return "rename_op";
+      case CounterId::IssueWindowOp: return "issue_window_op";
+      case CounterId::LsqOp: return "lsq_op";
+      case CounterId::ResultBusOp: return "result_bus_op";
+      case CounterId::BhtRef: return "bht_ref";
+      case CounterId::BtbRef: return "btb_ref";
+      case CounterId::RasRef: return "ras_ref";
+      case CounterId::BranchInsts: return "branch_insts";
+      case CounterId::BranchMispred: return "branch_mispred";
+      case CounterId::LoadInsts: return "load_insts";
+      case CounterId::StoreInsts: return "store_insts";
+      case CounterId::NumCounters: break;
+    }
+    panic("counterName: invalid counter id");
+}
+
+std::uint64_t
+CounterBank::total(CounterId id) const
+{
+    std::uint64_t sum = 0;
+    for (int m = 0; m < numExecModes; ++m)
+        sum += values[m][static_cast<int>(id)];
+    return sum;
+}
+
+void
+CounterBank::clear()
+{
+    for (auto &row : values)
+        row.fill(0);
+}
+
+void
+CounterBank::accumulate(const CounterBank &other)
+{
+    for (int m = 0; m < numExecModes; ++m)
+        for (int c = 0; c < numCounters; ++c)
+            values[m][c] += other.values[m][c];
+}
+
+} // namespace softwatt

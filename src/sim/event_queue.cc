@@ -1,0 +1,94 @@
+#include "event_queue.hh"
+
+#include "logging.hh"
+
+namespace softwatt
+{
+
+EventQueue::EventId
+EventQueue::schedule(Tick when, Callback cb)
+{
+    if (when < currentTick)
+        panic(msg() << "event scheduled in the past: " << when << " < "
+                    << currentTick);
+    EventId id = nextId++;
+    heap.push(Entry{when, id, std::move(cb)});
+    ++liveCount;
+    return id;
+}
+
+EventQueue::EventId
+EventQueue::scheduleIn(Cycles delta, Callback cb)
+{
+    return schedule(currentTick + delta, std::move(cb));
+}
+
+void
+EventQueue::cancel(EventId id)
+{
+    // Lazy deletion: the entry is skipped when it reaches the top.
+    if (cancelled.insert(id).second && liveCount > 0)
+        --liveCount;
+}
+
+void
+EventQueue::skipCancelled()
+{
+    while (!heap.empty()) {
+        auto it = cancelled.find(heap.top().id);
+        if (it == cancelled.end())
+            return;
+        cancelled.erase(it);
+        heap.pop();
+    }
+}
+
+Tick
+EventQueue::nextEventTick() const
+{
+    // The heap may hold cancelled entries above live ones; walk a copy
+    // only when cancellations are pending (rare).
+    auto *self = const_cast<EventQueue *>(this);
+    self->skipCancelled();
+    return heap.empty() ? maxTick : heap.top().when;
+}
+
+void
+EventQueue::advanceTo(Tick target)
+{
+    if (target < currentTick)
+        panic("advanceTo: time would move backwards");
+    while (true) {
+        skipCancelled();
+        if (heap.empty() || heap.top().when > target)
+            break;
+        Entry entry = heap.top();
+        heap.pop();
+        --liveCount;
+        currentTick = entry.when;
+        ++executedCount;
+        entry.cb();
+    }
+    currentTick = target;
+}
+
+Tick
+EventQueue::runUntil(Tick limit)
+{
+    while (true) {
+        skipCancelled();
+        if (heap.empty() || heap.top().when > limit)
+            break;
+        Entry entry = heap.top();
+        heap.pop();
+        --liveCount;
+        currentTick = entry.when;
+        ++executedCount;
+        entry.cb();
+    }
+    if (limit != maxTick && limit > currentTick)
+        currentTick = limit;
+    return currentTick;
+}
+
+} // namespace softwatt

@@ -1,0 +1,54 @@
+#include "logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace softwatt
+{
+
+namespace
+{
+LogLevel globalLevel = LogLevel::Normal;
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    globalLevel = level;
+}
+
+LogLevel
+logLevel()
+{
+    return globalLevel;
+}
+
+void
+fatal(const std::string &message)
+{
+    std::fprintf(stderr, "fatal: %s\n", message.c_str());
+    std::exit(1);
+}
+
+void
+panic(const std::string &message)
+{
+    std::fprintf(stderr, "panic: %s\n", message.c_str());
+    std::abort();
+}
+
+void
+warn(const std::string &message)
+{
+    if (globalLevel >= LogLevel::Normal)
+        std::fprintf(stderr, "warn: %s\n", message.c_str());
+}
+
+void
+inform(const std::string &message)
+{
+    if (globalLevel >= LogLevel::Verbose)
+        std::fprintf(stderr, "info: %s\n", message.c_str());
+}
+
+} // namespace softwatt

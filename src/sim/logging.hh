@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Status and error reporting, following the gem5 fatal/panic split:
+ * fatal() is the user's fault (bad configuration), panic() is an
+ * internal invariant violation (a SoftWatt bug).
+ */
+
+#ifndef SOFTWATT_SIM_LOGGING_HH
+#define SOFTWATT_SIM_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace softwatt
+{
+
+/** Verbosity levels for status messages. */
+enum class LogLevel
+{
+    Quiet = 0,
+    Normal,
+    Verbose,
+};
+
+/** Set the global verbosity for inform()/warn(). */
+void setLogLevel(LogLevel level);
+
+/** Current global verbosity. */
+LogLevel logLevel();
+
+/**
+ * Terminate the simulation due to a user error (bad configuration or
+ * arguments). Exits with status 1.
+ */
+[[noreturn]] void fatal(const std::string &message);
+
+/**
+ * Terminate the simulation due to an internal invariant violation.
+ * Aborts so a debugger or core dump can capture the state.
+ */
+[[noreturn]] void panic(const std::string &message);
+
+/** Print a warning about questionable but survivable behaviour. */
+void warn(const std::string &message);
+
+/** Print an informational status message. */
+void inform(const std::string &message);
+
+/**
+ * Build a message from stream-formatted parts.
+ *
+ * Usage: fatal(msg() << "bad size " << size);
+ */
+class msg
+{
+  public:
+    template <typename T>
+    msg &
+    operator<<(const T &value)
+    {
+        stream << value;
+        return *this;
+    }
+
+    operator std::string() const { return stream.str(); }
+
+  private:
+    std::ostringstream stream;
+};
+
+} // namespace softwatt
+
+#endif // SOFTWATT_SIM_LOGGING_HH

@@ -1,0 +1,107 @@
+#include "sample_log.hh"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace softwatt
+{
+
+CounterBank
+SampleLog::totals() const
+{
+    CounterBank bank;
+    for (const auto &rec : records)
+        bank.accumulate(rec.counters);
+    return bank;
+}
+
+Cycles
+SampleLog::totalCycles() const
+{
+    Cycles sum = 0;
+    for (const auto &rec : records)
+        sum += rec.length();
+    return sum;
+}
+
+void
+SampleLog::writeCsv(std::ostream &out) const
+{
+    out << "window,start,end,mode";
+    for (int c = 0; c < numCounters; ++c)
+        out << ',' << counterName(static_cast<CounterId>(c));
+    out << '\n';
+    for (std::size_t w = 0; w < records.size(); ++w) {
+        const auto &rec = records[w];
+        for (ExecMode mode : allExecModes) {
+            out << w << ',' << rec.startTick << ',' << rec.endTick << ','
+                << execModeName(mode);
+            for (int c = 0; c < numCounters; ++c) {
+                out << ','
+                    << rec.counters.get(mode, static_cast<CounterId>(c));
+            }
+            out << '\n';
+        }
+    }
+}
+
+bool
+SampleLog::readCsv(std::istream &in, SampleLog &out)
+{
+    std::string line;
+    if (!std::getline(in, line))
+        return false; // missing header
+
+    SampleRecord current;
+    std::size_t current_window = ~std::size_t(0);
+    bool have_window = false;
+    int mode_index = 0;
+
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        std::istringstream row(line);
+        std::string field;
+
+        if (!std::getline(row, field, ','))
+            return false;
+        std::size_t window = std::stoull(field);
+
+        if (!std::getline(row, field, ','))
+            return false;
+        Tick start = std::stoull(field);
+        if (!std::getline(row, field, ','))
+            return false;
+        Tick end = std::stoull(field);
+
+        if (!std::getline(row, field, ','))
+            return false; // mode name; row order is fixed
+
+        if (!have_window || window != current_window) {
+            if (have_window)
+                out.append(current);
+            current = SampleRecord{};
+            current.startTick = start;
+            current.endTick = end;
+            current_window = window;
+            have_window = true;
+            mode_index = 0;
+        }
+        if (mode_index >= numExecModes)
+            return false;
+        ExecMode mode = allExecModes[mode_index++];
+
+        for (int c = 0; c < numCounters; ++c) {
+            if (!std::getline(row, field, ','))
+                return false;
+            current.counters.addTo(mode, static_cast<CounterId>(c),
+                                   std::stoull(field));
+        }
+    }
+    if (have_window)
+        out.append(current);
+    return true;
+}
+
+} // namespace softwatt

@@ -1,0 +1,141 @@
+#include "stats.hh"
+
+#include <cmath>
+#include <ostream>
+
+#include "logging.hh"
+
+namespace softwatt
+{
+namespace stats
+{
+
+StatBase::StatBase(Group &group, std::string name, std::string desc)
+    : statName(std::move(name)), statDesc(std::move(desc))
+{
+    group.registerStat(this);
+}
+
+void
+Scalar::dump(std::ostream &out, const std::string &prefix) const
+{
+    out << prefix << name() << ' ' << total << " # " << desc() << '\n';
+}
+
+Vector::Vector(Group &group, std::string name, std::string desc,
+               std::vector<std::string> bucket_names)
+    : StatBase(group, std::move(name), std::move(desc)),
+      names(std::move(bucket_names)), buckets(names.size(), 0)
+{
+}
+
+void
+Vector::add(std::size_t bucket, double v)
+{
+    if (bucket >= buckets.size())
+        panic(msg() << "Vector::add: bucket " << bucket
+                    << " out of range for " << name());
+    buckets[bucket] += v;
+}
+
+double
+Vector::value(std::size_t bucket) const
+{
+    if (bucket >= buckets.size())
+        panic(msg() << "Vector::value: bucket " << bucket
+                    << " out of range for " << name());
+    return buckets[bucket];
+}
+
+double
+Vector::total() const
+{
+    double sum = 0;
+    for (double b : buckets)
+        sum += b;
+    return sum;
+}
+
+void
+Vector::dump(std::ostream &out, const std::string &prefix) const
+{
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+        out << prefix << name() << "::" << names[i] << ' ' << buckets[i]
+            << " # " << desc() << '\n';
+    }
+}
+
+void
+Vector::reset()
+{
+    for (double &b : buckets)
+        b = 0;
+}
+
+void
+Distribution::sample(double v)
+{
+    if (n == 0) {
+        minVal = maxVal = v;
+    } else {
+        if (v < minVal)
+            minVal = v;
+        if (v > maxVal)
+            maxVal = v;
+    }
+    ++n;
+    sum += v;
+    sumSq += v * v;
+}
+
+double
+Distribution::stdev() const
+{
+    if (n < 2)
+        return 0;
+    double m = mean();
+    double var = (sumSq - double(n) * m * m) / double(n - 1);
+    return var > 0 ? std::sqrt(var) : 0;
+}
+
+double
+Distribution::coeffOfDeviationPct() const
+{
+    double m = mean();
+    return m != 0 ? 100.0 * stdev() / m : 0;
+}
+
+void
+Distribution::dump(std::ostream &out, const std::string &prefix) const
+{
+    out << prefix << name() << "::count " << n << " # " << desc() << '\n'
+        << prefix << name() << "::mean " << mean() << '\n'
+        << prefix << name() << "::stdev " << stdev() << '\n'
+        << prefix << name() << "::min " << minimum() << '\n'
+        << prefix << name() << "::max " << maximum() << '\n';
+}
+
+void
+Distribution::reset()
+{
+    n = 0;
+    sum = sumSq = minVal = maxVal = 0;
+}
+
+void
+Group::dump(std::ostream &out) const
+{
+    std::string prefix = groupName.empty() ? "" : groupName + ".";
+    for (const StatBase *stat : statList)
+        stat->dump(out, prefix);
+}
+
+void
+Group::resetAll()
+{
+    for (StatBase *stat : statList)
+        stat->reset();
+}
+
+} // namespace stats
+} // namespace softwatt

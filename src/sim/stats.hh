@@ -1,0 +1,148 @@
+/**
+ * @file
+ * A compact statistics package in the spirit of gem5's Stats: named,
+ * self-describing performance statistics that modules register into a
+ * group and the simulation dumps at the end of a run.
+ */
+
+#ifndef SOFTWATT_SIM_STATS_HH
+#define SOFTWATT_SIM_STATS_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace softwatt
+{
+namespace stats
+{
+
+class Group;
+
+/** Base of every statistic: a name, a description, and a text dump. */
+class StatBase
+{
+  public:
+    StatBase(Group &group, std::string name, std::string desc);
+    virtual ~StatBase() = default;
+
+    StatBase(const StatBase &) = delete;
+    StatBase &operator=(const StatBase &) = delete;
+
+    const std::string &name() const { return statName; }
+    const std::string &desc() const { return statDesc; }
+
+    /** Write "name value # desc" lines to @p out. */
+    virtual void dump(std::ostream &out, const std::string &prefix)
+        const = 0;
+
+    /** Reset to the just-constructed state. */
+    virtual void reset() = 0;
+
+  private:
+    std::string statName;
+    std::string statDesc;
+};
+
+/** A single accumulating value. */
+class Scalar : public StatBase
+{
+  public:
+    using StatBase::StatBase;
+
+    Scalar &operator+=(double v) { total += v; return *this; }
+    Scalar &operator++() { total += 1; return *this; }
+    void set(double v) { total = v; }
+    double value() const { return total; }
+
+    void dump(std::ostream &out, const std::string &prefix)
+        const override;
+    void reset() override { total = 0; }
+
+  private:
+    double total = 0;
+};
+
+/** A fixed-length vector of accumulating values with bucket names. */
+class Vector : public StatBase
+{
+  public:
+    Vector(Group &group, std::string name, std::string desc,
+           std::vector<std::string> bucket_names);
+
+    void add(std::size_t bucket, double v = 1);
+    double value(std::size_t bucket) const;
+    double total() const;
+    std::size_t size() const { return buckets.size(); }
+
+    void dump(std::ostream &out, const std::string &prefix)
+        const override;
+    void reset() override;
+
+  private:
+    std::vector<std::string> names;
+    std::vector<double> buckets;
+};
+
+/** Mean/min/max/stdev over individually sampled values. */
+class Distribution : public StatBase
+{
+  public:
+    using StatBase::StatBase;
+
+    void sample(double v);
+    std::uint64_t count() const { return n; }
+    double mean() const { return n ? sum / double(n) : 0; }
+    double minimum() const { return n ? minVal : 0; }
+    double maximum() const { return n ? maxVal : 0; }
+
+    /** Sample standard deviation; 0 when fewer than two samples. */
+    double stdev() const;
+
+    /** Coefficient of deviation, percent: 100 * stdev / mean. */
+    double coeffOfDeviationPct() const;
+
+    void dump(std::ostream &out, const std::string &prefix)
+        const override;
+    void reset() override;
+
+  private:
+    std::uint64_t n = 0;
+    double sum = 0;
+    double sumSq = 0;
+    double minVal = 0;
+    double maxVal = 0;
+};
+
+/**
+ * Owner of a set of statistics. Modules hold a Group and construct
+ * their stats against it; System dumps all groups at end of run.
+ */
+class Group
+{
+  public:
+    explicit Group(std::string name) : groupName(std::move(name)) {}
+
+    const std::string &name() const { return groupName; }
+
+    /** Registration hook used by StatBase's constructor. */
+    void registerStat(StatBase *stat) { statList.push_back(stat); }
+
+    /** Dump every registered stat, prefixed with the group name. */
+    void dump(std::ostream &out) const;
+
+    /** Reset every registered stat. */
+    void resetAll();
+
+    const std::vector<StatBase *> &all() const { return statList; }
+
+  private:
+    std::string groupName;
+    std::vector<StatBase *> statList;
+};
+
+} // namespace stats
+} // namespace softwatt
+
+#endif // SOFTWATT_SIM_STATS_HH

@@ -1,0 +1,24 @@
+#include "types.hh"
+
+#include "logging.hh"
+
+namespace softwatt
+{
+
+const char *
+execModeName(ExecMode mode)
+{
+    switch (mode) {
+      case ExecMode::User:
+        return "user";
+      case ExecMode::KernelInst:
+        return "kernel";
+      case ExecMode::KernelSync:
+        return "sync";
+      case ExecMode::Idle:
+        return "idle";
+    }
+    panic("execModeName: invalid mode");
+}
+
+} // namespace softwatt

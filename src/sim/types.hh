@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every SoftWatt module.
+ */
+
+#ifndef SOFTWATT_SIM_TYPES_HH
+#define SOFTWATT_SIM_TYPES_HH
+
+#include <cstdint>
+#include <string>
+
+namespace softwatt
+{
+
+/** Simulated time, measured in processor cycles of the core clock. */
+using Tick = std::uint64_t;
+
+/** A duration expressed in core-clock cycles. */
+using Cycles = std::uint64_t;
+
+/** Virtual or physical byte address in the simulated machine. */
+using Addr = std::uint64_t;
+
+/** Largest representable tick; used as "never" for timeouts. */
+constexpr Tick maxTick = ~Tick(0);
+
+/**
+ * Software execution mode of the simulated machine.
+ *
+ * The paper characterizes four modes: user code, kernel instruction
+ * execution, kernel synchronization, and the idle process. Every
+ * hardware access counter is tagged with the mode that caused it.
+ */
+enum class ExecMode : std::uint8_t
+{
+    User = 0,
+    KernelInst,
+    KernelSync,
+    Idle,
+};
+
+/** Number of distinct ExecMode values. */
+constexpr int numExecModes = 4;
+
+/** Human-readable name of an execution mode. */
+const char *execModeName(ExecMode mode);
+
+/** All modes, in a fixed iteration order. */
+constexpr ExecMode allExecModes[numExecModes] = {
+    ExecMode::User, ExecMode::KernelInst, ExecMode::KernelSync,
+    ExecMode::Idle,
+};
+
+} // namespace softwatt
+
+#endif // SOFTWATT_SIM_TYPES_HH

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Unit tests for the RAM/CAM/FU/bus/clock/memory/pad energy models.
+ */
+
+#include <gtest/gtest.h>
+
+#include "power/array_models.hh"
+
+using namespace softwatt;
+
+TEST(ArrayModel, MorePortsMoreEnergy)
+{
+    Technology tech;
+    ArrayGeometry few{64, 64, 2, 512};
+    ArrayGeometry many{64, 64, 9, 512};
+    EXPECT_GT(ArrayEnergyModel(tech, many).readEnergyNj(),
+              ArrayEnergyModel(tech, few).readEnergyNj());
+}
+
+TEST(ArrayModel, WiderRowsMoreEnergy)
+{
+    Technology tech;
+    ArrayGeometry narrow{64, 8, 2, 512};
+    ArrayGeometry wide{64, 64, 2, 512};
+    EXPECT_GT(ArrayEnergyModel(tech, wide).readEnergyNj(),
+              ArrayEnergyModel(tech, narrow).readEnergyNj());
+}
+
+TEST(ArrayModel, SubbankingCapsRowCost)
+{
+    Technology tech;
+    ArrayGeometry small{512, 32, 1, 512};
+    ArrayGeometry huge{4096, 32, 1, 512};
+    // Past the subbank limit, bitline height stops growing.
+    EXPECT_NEAR(ArrayEnergyModel(tech, huge).readEnergyNj(),
+                ArrayEnergyModel(tech, small).readEnergyNj(), 1e-9);
+}
+
+TEST(ArrayModelDeath, NonPositiveGeometryFatal)
+{
+    Technology tech;
+    ArrayGeometry bad{0, 64, 2, 512};
+    EXPECT_DEATH(ArrayEnergyModel(tech, bad), "positive");
+}
+
+TEST(CamModel, MoreEntriesMoreSearchEnergy)
+{
+    Technology tech;
+    CamGeometry small{32, 27, 40, 4.0};
+    CamGeometry big{128, 27, 40, 4.0};
+    EXPECT_GT(CamEnergyModel(tech, big).searchEnergyNj(),
+              CamEnergyModel(tech, small).searchEnergyNj());
+}
+
+TEST(CamModel, WiderTagsMoreSearchEnergy)
+{
+    Technology tech;
+    CamGeometry narrow{64, 8, 40, 4.0};
+    CamGeometry wide{64, 40, 40, 4.0};
+    EXPECT_GT(CamEnergyModel(tech, wide).searchEnergyNj(),
+              CamEnergyModel(tech, narrow).searchEnergyNj());
+}
+
+TEST(CamModel, WriteEnergyPositive)
+{
+    Technology tech;
+    CamGeometry g{64, 27, 40, 4.0};
+    EXPECT_GT(CamEnergyModel(tech, g).writeEnergyNj(), 0.0);
+}
+
+TEST(FunctionalUnit, EnergyScalesWithCapacitance)
+{
+    Technology tech;
+    FunctionalUnitEnergyModel small(tech, 50.0);
+    FunctionalUnitEnergyModel big(tech, 200.0);
+    EXPECT_NEAR(big.opEnergyNj() / small.opEnergyNj(), 4.0, 1e-9);
+}
+
+TEST(ResultBus, TransferEnergyPositive)
+{
+    Technology tech;
+    EXPECT_GT(ResultBusEnergyModel(tech, 41.0).transferEnergyNj(),
+              0.0);
+}
+
+TEST(ClockModel, ActivityScalesBetweenBaseAndMax)
+{
+    Technology tech;
+    ClockEnergyModel clock(tech);
+    double base = clock.basePowerW();
+    double max = clock.maxPowerW();
+    EXPECT_GT(base, 0.0);
+    EXPECT_GT(max, base);
+    double half = clock.powerW(0.5);
+    EXPECT_GT(half, base);
+    EXPECT_LT(half, max);
+    EXPECT_NEAR(half - base, (max - base) * 0.5, 1e-9);
+}
+
+TEST(ClockModel, ActivityIsClamped)
+{
+    Technology tech;
+    ClockEnergyModel clock(tech);
+    EXPECT_DOUBLE_EQ(clock.powerW(-1.0), clock.basePowerW());
+    EXPECT_DOUBLE_EQ(clock.powerW(2.0), clock.maxPowerW());
+}
+
+TEST(ClockModel, PaperPointNearCalibration)
+{
+    // ~0.8 W base + ~4.9 W load at 0.35 um / 3.3 V / 200 MHz.
+    Technology tech;
+    ClockEnergyModel clock(tech);
+    EXPECT_NEAR(clock.basePowerW(), 0.8, 0.15);
+    EXPECT_NEAR(clock.maxPowerW(), 5.7, 0.4);
+}
+
+TEST(MemoryModel, Accessors)
+{
+    MemoryEnergyModel mem(60.0, 0.45);
+    EXPECT_DOUBLE_EQ(mem.accessEnergyNj(), 60.0);
+    EXPECT_DOUBLE_EQ(mem.backgroundPowerW(), 0.45);
+}
+
+TEST(PadModel, MaxPowerMatchesHandComputation)
+{
+    Technology tech;
+    PadEnergyModel pads(tech, 192, 50.0, 0.5);
+    // 192 pins * 50 pF * Vdd^2 * f * 0.5
+    double expected =
+        192 * 50e-12 * tech.vddSq() * tech.freqHz() * 0.5;
+    EXPECT_NEAR(pads.maxPowerW(), expected, 1e-9);
+    EXPECT_NEAR(pads.maxPowerW(), 10.45, 0.2);
+}

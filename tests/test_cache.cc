@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Unit and property tests for the cache tag model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "mem/cache.hh"
+
+using namespace softwatt;
+
+namespace
+{
+
+CacheParams
+params(std::uint64_t size, int line, int ways)
+{
+    return CacheParams{size, line, ways, 1};
+}
+
+} // namespace
+
+TEST(Cache, FirstAccessMissesSecondHits)
+{
+    Cache c("t", params(4096, 64, 2));
+    EXPECT_FALSE(c.access(0x1000, false).hit);
+    EXPECT_TRUE(c.access(0x1000, false).hit);
+    EXPECT_TRUE(c.access(0x1030, false).hit);  // same line
+    EXPECT_EQ(c.refs(), 3u);
+    EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(Cache, LruEvictsLeastRecentlyUsed)
+{
+    // 2-way, line 64: a set holds exactly two lines.
+    Cache c("t", params(4096, 64, 2));
+    std::uint64_t set_stride = 64 * c.numSets();
+    Addr a = 0x0, b = a + set_stride, d = a + 2 * set_stride;
+    c.access(a, false);
+    c.access(b, false);
+    c.access(a, false);      // refresh a; b becomes LRU
+    c.access(d, false);      // evicts b
+    EXPECT_TRUE(c.access(a, false).hit);
+    EXPECT_FALSE(c.access(b, false).hit);
+}
+
+TEST(Cache, DirtyVictimReportsWriteback)
+{
+    Cache c("t", params(4096, 64, 1));  // direct-mapped
+    std::uint64_t stride = 64 * c.numSets();
+    c.access(0x0, true);  // dirty
+    CacheAccessResult r = c.access(stride, false);
+    EXPECT_FALSE(r.hit);
+    EXPECT_TRUE(r.writeback);
+    EXPECT_EQ(r.writebackAddr, 0u);
+    EXPECT_EQ(c.writebacks(), 1u);
+}
+
+TEST(Cache, CleanVictimNoWriteback)
+{
+    Cache c("t", params(4096, 64, 1));
+    std::uint64_t stride = 64 * c.numSets();
+    c.access(0x0, false);
+    CacheAccessResult r = c.access(stride, false);
+    EXPECT_FALSE(r.writeback);
+}
+
+TEST(Cache, WriteToCleanLineMarksDirty)
+{
+    Cache c("t", params(4096, 64, 1));
+    std::uint64_t stride = 64 * c.numSets();
+    c.access(0x0, false);
+    c.access(0x0, true);  // hit, now dirty
+    CacheAccessResult r = c.access(stride, false);
+    EXPECT_TRUE(r.writeback);
+}
+
+TEST(Cache, ProbeDoesNotAllocateOrCount)
+{
+    Cache c("t", params(4096, 64, 2));
+    EXPECT_FALSE(c.probe(0x1000));
+    EXPECT_EQ(c.refs(), 0u);
+    c.access(0x1000, false);
+    EXPECT_TRUE(c.probe(0x1000));
+}
+
+TEST(Cache, InvalidateAllDropsEverything)
+{
+    Cache c("t", params(4096, 64, 2));
+    c.access(0x1000, true);
+    c.invalidateAll();
+    EXPECT_FALSE(c.probe(0x1000));
+    // Dirty state discarded: refill does not report a writeback.
+    EXPECT_FALSE(c.access(0x1000, false).writeback);
+}
+
+TEST(Cache, InvalidateLine)
+{
+    Cache c("t", params(4096, 64, 2));
+    c.access(0x1000, false);
+    EXPECT_TRUE(c.invalidateLine(0x1000));
+    EXPECT_FALSE(c.invalidateLine(0x1000));
+    EXPECT_FALSE(c.probe(0x1000));
+}
+
+TEST(Cache, MissRatio)
+{
+    Cache c("t", params(4096, 64, 2));
+    c.access(0x0, false);
+    c.access(0x0, false);
+    c.access(0x0, false);
+    c.access(0x0, false);
+    EXPECT_DOUBLE_EQ(c.missRatio(), 0.25);
+}
+
+TEST(CacheDeath, BadGeometryFatal)
+{
+    EXPECT_DEATH(Cache("t", params(4096 + 64, 64, 2)), "multiple");
+    EXPECT_DEATH(Cache("t", params(1536, 48, 1)), "power of two");
+}
+
+/**
+ * Property sweep across geometries: working sets that fit never miss
+ * after the first pass; working sets twice the capacity always miss
+ * when streamed cyclically (LRU worst case).
+ */
+class CacheSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>>
+{
+};
+
+TEST_P(CacheSweep, FittingWorkingSetHitsAfterWarmup)
+{
+    auto [size_kb, line, ways] = GetParam();
+    Cache c("t", params(std::uint64_t(size_kb) * 1024, line, ways));
+    std::uint64_t ws = std::uint64_t(size_kb) * 1024;
+    for (Addr a = 0; a < ws; a += line)
+        c.access(a, false);
+    std::uint64_t warm_misses = c.misses();
+    for (int pass = 0; pass < 3; ++pass)
+        for (Addr a = 0; a < ws; a += line)
+            c.access(a, false);
+    EXPECT_EQ(c.misses(), warm_misses);
+}
+
+TEST_P(CacheSweep, OversizedCyclicStreamAlwaysMisses)
+{
+    auto [size_kb, line, ways] = GetParam();
+    Cache c("t", params(std::uint64_t(size_kb) * 1024, line, ways));
+    std::uint64_t ws = std::uint64_t(size_kb) * 2 * 1024;
+    for (int pass = 0; pass < 3; ++pass)
+        for (Addr a = 0; a < ws; a += line)
+            c.access(a, false);
+    EXPECT_DOUBLE_EQ(c.missRatio(), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheSweep,
+    ::testing::Combine(::testing::Values(4, 32),
+                       ::testing::Values(32, 64, 128),
+                       ::testing::Values(1, 2, 4)));

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Unit and property tests for the Kamble-Ghose cache energy model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "power/cache_model.hh"
+
+using namespace softwatt;
+
+namespace
+{
+
+CacheGeometry
+geom(std::uint64_t size, int ways, int line, int access,
+     bool full_line)
+{
+    CacheGeometry g;
+    g.sizeBytes = size;
+    g.ways = ways;
+    g.lineBytes = line;
+    g.accessBytes = access;
+    g.readsFullLine = full_line;
+    return g;
+}
+
+} // namespace
+
+TEST(CacheGeometry, SetsAndTagBits)
+{
+    CacheGeometry g = geom(32 * 1024, 2, 64, 8, false);
+    EXPECT_EQ(g.sets(), 256u);
+    EXPECT_EQ(g.tagBits(), 40 - 8 - 6);
+}
+
+TEST(CacheModel, Table1EnergiesInExpectedBands)
+{
+    Technology tech;
+    // L1 I-cache: full-line read across both ways.
+    CacheEnergyModel il1(tech, geom(32 * 1024, 2, 64, 16, true));
+    EXPECT_GT(il1.readEnergyNj(), 4.0);
+    EXPECT_LT(il1.readEnergyNj(), 7.0);
+
+    // L1 D-cache: column-muxed 8-byte access.
+    CacheEnergyModel dl1(tech, geom(32 * 1024, 2, 64, 8, false));
+    EXPECT_GT(dl1.readEnergyNj(), 0.5);
+    EXPECT_LT(dl1.readEnergyNj(), 1.5);
+
+    // Unified L2.
+    CacheEnergyModel l2(tech, geom(1024 * 1024, 2, 128, 64, false));
+    EXPECT_GT(l2.readEnergyNj(), 7.0);
+    EXPECT_LT(l2.readEnergyNj(), 16.0);
+}
+
+TEST(CacheModel, FullLineReadCostsMoreThanMuxed)
+{
+    Technology tech;
+    CacheEnergyModel full(tech, geom(32 * 1024, 2, 64, 8, true));
+    CacheEnergyModel muxed(tech, geom(32 * 1024, 2, 64, 8, false));
+    EXPECT_GT(full.readEnergyNj(), 2.0 * muxed.readEnergyNj());
+}
+
+TEST(CacheModel, EnergyTermsAllNonNegative)
+{
+    Technology tech;
+    CacheEnergyModel m(tech, geom(64 * 1024, 4, 64, 8, false));
+    CacheAccessEnergy e = m.readEnergy();
+    EXPECT_GE(e.decodeNj, 0);
+    EXPECT_GE(e.wordlineNj, 0);
+    EXPECT_GT(e.bitlineNj, 0);
+    EXPECT_GE(e.senseAmpNj, 0);
+    EXPECT_GE(e.tagCompareNj, 0);
+    EXPECT_GE(e.outputNj, 0);
+    EXPECT_NEAR(e.totalNj(),
+                e.decodeNj + e.wordlineNj + e.bitlineNj +
+                    e.senseAmpNj + e.tagCompareNj + e.outputNj,
+                1e-12);
+}
+
+TEST(CacheModel, WritesSkipSenseAmps)
+{
+    Technology tech;
+    CacheEnergyModel m(tech, geom(32 * 1024, 2, 64, 8, false));
+    EXPECT_DOUBLE_EQ(m.writeEnergy().senseAmpNj, 0.0);
+    EXPECT_GT(m.readEnergy().senseAmpNj, 0.0);
+}
+
+TEST(CacheModel, LowerVddLowersEnergy)
+{
+    Technology hi, lo;
+    lo.vdd = 1.8;
+    CacheGeometry g = geom(32 * 1024, 2, 64, 8, false);
+    EXPECT_LT(CacheEnergyModel(lo, g).readEnergyNj(),
+              CacheEnergyModel(hi, g).readEnergyNj());
+}
+
+TEST(CacheModelDeath, NonPowerOfTwoSetsIsFatal)
+{
+    Technology tech;
+    CacheGeometry g = geom(48 * 1024, 2, 64, 8, false);  // 384 sets
+    EXPECT_DEATH(CacheEnergyModel(tech, g), "power of two");
+}
+
+/**
+ * Property sweep: per-access read energy is monotone in capacity
+ * (within a subbank regime) and in associativity.
+ */
+class CacheEnergySweep
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(CacheEnergySweep, EnergyGrowsWithSizeUpToSubbankLimit)
+{
+    auto [size_kb, ways] = GetParam();
+    Technology tech;
+    CacheEnergyModel small(
+        tech, geom(std::uint64_t(size_kb) * 1024, ways, 64, 8, false));
+    CacheEnergyModel big(
+        tech,
+        geom(std::uint64_t(size_kb) * 2 * 1024, ways, 64, 8, false));
+    // Past the subbank limit the bitlines stop growing and the tag
+    // narrows slightly, so allow a small decrease there.
+    EXPECT_GE(big.readEnergyNj(), small.readEnergyNj() * 0.97)
+        << size_kb << "KB " << ways << "-way";
+}
+
+TEST_P(CacheEnergySweep, EnergyGrowsWithWays)
+{
+    auto [size_kb, ways] = GetParam();
+    Technology tech;
+    CacheEnergyModel narrow(
+        tech, geom(std::uint64_t(size_kb) * 1024, ways, 64, 8, false));
+    CacheEnergyModel wide(
+        tech,
+        geom(std::uint64_t(size_kb) * 1024, ways * 2, 64, 8, false));
+    EXPECT_GT(wide.readEnergyNj(), narrow.readEnergyNj());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheEnergySweep,
+    ::testing::Combine(::testing::Values(8, 16, 32, 64),
+                       ::testing::Values(1, 2, 4)));

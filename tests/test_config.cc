@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Unit tests for the typed configuration store.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/config.hh"
+
+using namespace softwatt;
+
+TEST(Config, DefaultsWhenAbsent)
+{
+    Config c;
+    EXPECT_EQ(c.getInt("x", 7), 7);
+    EXPECT_DOUBLE_EQ(c.getDouble("y", 2.5), 2.5);
+    EXPECT_TRUE(c.getBool("z", true));
+    EXPECT_EQ(c.getString("s", "abc"), "abc");
+    EXPECT_FALSE(c.has("x"));
+}
+
+TEST(Config, SetAndGetTypes)
+{
+    Config c;
+    c.set("i", std::int64_t(42));
+    c.set("d", 3.25);
+    c.set("b", true);
+    c.set("s", std::string("hello"));
+    EXPECT_EQ(c.getInt("i", 0), 42);
+    EXPECT_DOUBLE_EQ(c.getDouble("d", 0), 3.25);
+    EXPECT_TRUE(c.getBool("b", false));
+    EXPECT_EQ(c.getString("s", ""), "hello");
+    EXPECT_TRUE(c.has("i"));
+}
+
+TEST(Config, IntParsesHex)
+{
+    Config c;
+    c.set("addr", std::string("0x40"));
+    EXPECT_EQ(c.getInt("addr", 0), 64);
+}
+
+TEST(Config, BoolAliases)
+{
+    Config c;
+    c.set("a", std::string("1"));
+    c.set("b", std::string("no"));
+    c.set("d", std::string("yes"));
+    EXPECT_TRUE(c.getBool("a", false));
+    EXPECT_FALSE(c.getBool("b", true));
+    EXPECT_TRUE(c.getBool("d", false));
+}
+
+TEST(Config, ParseAssignment)
+{
+    Config c;
+    EXPECT_TRUE(c.parseAssignment("cache.size=64"));
+    EXPECT_EQ(c.getInt("cache.size", 0), 64);
+    EXPECT_FALSE(c.parseAssignment("no-equals-sign"));
+    EXPECT_FALSE(c.parseAssignment("=value"));
+    // Value containing '=' keeps the remainder.
+    EXPECT_TRUE(c.parseAssignment("k=a=b"));
+    EXPECT_EQ(c.getString("k", ""), "a=b");
+}
+
+TEST(Config, MergeOverwrites)
+{
+    Config base, over;
+    base.set("a", std::int64_t(1));
+    base.set("b", std::int64_t(2));
+    over.set("b", std::int64_t(20));
+    over.set("c", std::int64_t(30));
+    base.merge(over);
+    EXPECT_EQ(base.getInt("a", 0), 1);
+    EXPECT_EQ(base.getInt("b", 0), 20);
+    EXPECT_EQ(base.getInt("c", 0), 30);
+}
+
+TEST(Config, KeysSorted)
+{
+    Config c;
+    c.set("zebra", std::int64_t(1));
+    c.set("alpha", std::int64_t(2));
+    auto keys = c.keys();
+    ASSERT_EQ(keys.size(), 2u);
+    EXPECT_EQ(keys[0], "alpha");
+    EXPECT_EQ(keys[1], "zebra");
+}
+
+TEST(ConfigDeath, MalformedIntIsFatal)
+{
+    Config c;
+    c.set("n", std::string("notanumber"));
+    EXPECT_DEATH((void)c.getInt("n", 0), "not an integer");
+}
+
+TEST(ConfigDeath, MalformedBoolIsFatal)
+{
+    Config c;
+    c.set("b", std::string("maybe"));
+    EXPECT_DEATH((void)c.getBool("b", false), "not a boolean");
+}

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Unit tests for the counter bank, counter names, and the tag-routed
+ * counter sink.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "sim/counter_sink.hh"
+#include "sim/counters.hh"
+
+using namespace softwatt;
+
+TEST(CounterBank, StartsAtZero)
+{
+    CounterBank bank;
+    for (ExecMode m : allExecModes)
+        for (int c = 0; c < numCounters; ++c)
+            EXPECT_EQ(bank.get(m, CounterId(c)), 0u);
+}
+
+TEST(CounterBank, AddUsesCurrentMode)
+{
+    CounterBank bank;
+    bank.setMode(ExecMode::KernelInst);
+    bank.add(CounterId::IL1Ref, 3);
+    EXPECT_EQ(bank.get(ExecMode::KernelInst, CounterId::IL1Ref), 3u);
+    EXPECT_EQ(bank.get(ExecMode::User, CounterId::IL1Ref), 0u);
+}
+
+TEST(CounterBank, AddToExplicitMode)
+{
+    CounterBank bank;
+    bank.addTo(ExecMode::Idle, CounterId::Cycles, 10);
+    EXPECT_EQ(bank.get(ExecMode::Idle, CounterId::Cycles), 10u);
+}
+
+TEST(CounterBank, TotalSumsModes)
+{
+    CounterBank bank;
+    bank.addTo(ExecMode::User, CounterId::DL1Ref, 4);
+    bank.addTo(ExecMode::Idle, CounterId::DL1Ref, 6);
+    EXPECT_EQ(bank.total(CounterId::DL1Ref), 10u);
+}
+
+TEST(CounterBank, ClearZeroesEverything)
+{
+    CounterBank bank;
+    bank.addTo(ExecMode::User, CounterId::Cycles, 5);
+    bank.clear();
+    EXPECT_EQ(bank.total(CounterId::Cycles), 0u);
+}
+
+TEST(CounterBank, AccumulateIsElementWise)
+{
+    CounterBank a, b;
+    a.addTo(ExecMode::User, CounterId::IL1Ref, 1);
+    b.addTo(ExecMode::User, CounterId::IL1Ref, 2);
+    b.addTo(ExecMode::Idle, CounterId::MemRef, 7);
+    a.accumulate(b);
+    EXPECT_EQ(a.get(ExecMode::User, CounterId::IL1Ref), 3u);
+    EXPECT_EQ(a.get(ExecMode::Idle, CounterId::MemRef), 7u);
+}
+
+TEST(Counters, NamesAreUnique)
+{
+    std::set<std::string> names;
+    for (int c = 0; c < numCounters; ++c)
+        names.insert(counterName(CounterId(c)));
+    EXPECT_EQ(int(names.size()), numCounters);
+}
+
+TEST(ExecModes, NamesAreUnique)
+{
+    std::set<std::string> names;
+    for (ExecMode m : allExecModes)
+        names.insert(execModeName(m));
+    EXPECT_EQ(int(names.size()), numExecModes);
+}
+
+TEST(CounterSink, GlobalAlwaysReceives)
+{
+    CounterSink sink;
+    sink.add(ExecMode::User, CounterId::IL1Ref, 2);
+    EXPECT_EQ(sink.global().get(ExecMode::User, CounterId::IL1Ref),
+              2u);
+}
+
+TEST(CounterSink, TaggedKernelEventsReachTheirBank)
+{
+    CounterSink sink;
+    CounterBank bank;
+    sink.registerBank(7, &bank);
+    sink.add(ExecMode::KernelInst, CounterId::IntAluOp, 1, 7);
+    sink.add(ExecMode::KernelSync, CounterId::IntAluOp, 1, 7);
+    EXPECT_EQ(bank.get(ExecMode::KernelInst, CounterId::IntAluOp), 1u);
+    EXPECT_EQ(bank.get(ExecMode::KernelSync, CounterId::IntAluOp), 1u);
+    sink.unregisterBank(7);
+}
+
+TEST(CounterSink, UserAndIdleEventsAreNotForwarded)
+{
+    CounterSink sink;
+    CounterBank bank;
+    sink.registerBank(7, &bank);
+    sink.add(ExecMode::User, CounterId::IntAluOp, 1, 7);
+    sink.add(ExecMode::Idle, CounterId::IntAluOp, 1, 7);
+    EXPECT_EQ(bank.total(CounterId::IntAluOp), 0u);
+}
+
+TEST(CounterSink, WrongTagIsNotForwarded)
+{
+    CounterSink sink;
+    CounterBank bank;
+    sink.registerBank(7, &bank);
+    sink.add(ExecMode::KernelInst, CounterId::IntAluOp, 1, 8);
+    sink.add(ExecMode::KernelInst, CounterId::IntAluOp, 1, 0);
+    EXPECT_EQ(bank.total(CounterId::IntAluOp), 0u);
+}
+
+TEST(CounterSink, TwoBanksRouteIndependently)
+{
+    CounterSink sink;
+    CounterBank a, b;
+    sink.registerBank(1, &a);
+    sink.registerBank(2, &b);
+    sink.add(ExecMode::KernelInst, CounterId::DL1Ref, 3, 1);
+    sink.add(ExecMode::KernelInst, CounterId::DL1Ref, 5, 2);
+    EXPECT_EQ(a.total(CounterId::DL1Ref), 3u);
+    EXPECT_EQ(b.total(CounterId::DL1Ref), 5u);
+}
+
+TEST(CounterSink, UnregisterStopsForwarding)
+{
+    CounterSink sink;
+    CounterBank bank;
+    sink.registerBank(3, &bank);
+    sink.unregisterBank(3);
+    sink.add(ExecMode::KernelInst, CounterId::DL1Ref, 3, 3);
+    EXPECT_EQ(bank.total(CounterId::DL1Ref), 0u);
+    EXPECT_EQ(sink.liveBanks(), 0u);
+}
+
+TEST(CounterSink, CycleChargesUseCycleModeAndTag)
+{
+    CounterSink sink;
+    CounterBank bank;
+    sink.registerBank(9, &bank);
+    sink.setCycleMode(ExecMode::KernelInst, 9);
+    sink.addCycle();
+    sink.addCycles(4);
+    EXPECT_EQ(bank.get(ExecMode::KernelInst, CounterId::Cycles), 5u);
+    EXPECT_EQ(sink.global().get(ExecMode::KernelInst,
+                                CounterId::Cycles),
+              5u);
+}

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Tests for the aggregate CPU power model, including the paper's
+ * R10000 maximum-power validation experiment (Section 2: SoftWatt
+ * reports 25.3 W against the 30 W datasheet value).
+ */
+
+#include <gtest/gtest.h>
+
+#include "power/cpu_power.hh"
+
+using namespace softwatt;
+
+TEST(CpuPowerValidation, R10000MaxPowerMatchesPaper)
+{
+    MachineParams r10k;  // Table 1 defaults
+    CpuPowerModel model(r10k, true);
+    EXPECT_NEAR(model.maxPowerW(), 25.3, 0.15);
+}
+
+TEST(CpuPowerValidation, MaxPowerBelowDatasheet)
+{
+    MachineParams r10k;
+    CpuPowerModel model(r10k, true);
+    EXPECT_LT(model.maxPowerW(), 30.0);
+    EXPECT_GT(model.maxPowerW(), 20.0);
+}
+
+TEST(CpuPower, AnalyticalModelNearCalibrated)
+{
+    MachineParams r10k;
+    CpuPowerModel cal(r10k, true);
+    CpuPowerModel ana(r10k, false);
+    // The raw analytical models should land within ~20% of the
+    // calibrated total for the validation configuration.
+    EXPECT_NEAR(ana.maxPowerW(), cal.maxPowerW(),
+                0.20 * cal.maxPowerW());
+}
+
+TEST(CpuPower, AnalyticalCacheEnergiesTrackCalibrated)
+{
+    MachineParams r10k;
+    UnitEnergies cal = UnitEnergies::calibrated();
+    UnitEnergies ana =
+        UnitEnergies::fromModels(Technology{}, r10k);
+    EXPECT_NEAR(ana.il1ReadNj, cal.il1ReadNj, 0.35 * cal.il1ReadNj);
+    EXPECT_NEAR(ana.dl1AccessNj, cal.dl1AccessNj,
+                0.35 * cal.dl1AccessNj);
+    EXPECT_NEAR(ana.l2AccessNj, cal.l2AccessNj,
+                0.35 * cal.l2AccessNj);
+}
+
+TEST(CpuPower, PortCountsFollowMachineWidths)
+{
+    MachineParams m;
+    m.fetchWidth = 8;
+    m.issueWidth = 6;
+    m.decodeWidth = 5;
+    m.commitWidth = 7;
+    m.intAlus = 3;
+    m.fpAlus = 1;
+    PortCounts p = PortCounts::fromMachine(m);
+    EXPECT_DOUBLE_EQ(p.il1, 8);
+    EXPECT_DOUBLE_EQ(p.rename, 5);
+    EXPECT_DOUBLE_EQ(p.regRead, 12);
+    EXPECT_DOUBLE_EQ(p.regWrite, 7);
+    EXPECT_DOUBLE_EQ(p.issueWindow, 11);
+    EXPECT_DOUBLE_EQ(p.intAlu, 3);
+    EXPECT_DOUBLE_EQ(p.fpAlu, 1);
+}
+
+TEST(CpuPower, WiderMachineHasHigherMaxPower)
+{
+    MachineParams narrow;
+    narrow.fetchWidth = narrow.decodeWidth = narrow.issueWidth =
+        narrow.commitWidth = 1;
+    MachineParams wide;  // 4-wide default
+    CpuPowerModel n(narrow, true), w(wide, true);
+    EXPECT_GT(w.maxUnitPowerW(), n.maxUnitPowerW());
+}
+
+TEST(CpuPower, CalibratedEnergiesAllPositive)
+{
+    UnitEnergies e = UnitEnergies::calibrated();
+    for (double v :
+         {e.il1ReadNj, e.dl1AccessNj, e.l2AccessNj, e.tlbSearchNj,
+          e.tlbWriteNj, e.issueWindowOpNj, e.renameOpNj,
+          e.regfileReadNj, e.regfileWriteNj, e.intAluOpNj,
+          e.fpAluOpNj, e.lsqOpNj, e.resultBusNj, e.bhtRefNj,
+          e.btbRefNj, e.rasRefNj, e.memAccessNj}) {
+        EXPECT_GT(v, 0.0);
+    }
+}
+
+TEST(CpuPower, IcacheDominatesDcachePerAccess)
+{
+    // The wide-fetch I-cache path is the power-dominant L1 access in
+    // the paper's budget; the model must preserve that asymmetry.
+    UnitEnergies e = UnitEnergies::calibrated();
+    EXPECT_GT(e.il1ReadNj, 4.0 * e.dl1AccessNj);
+}

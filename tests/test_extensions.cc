@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Tests for the paper-suggested extensions: halt-on-idle, the
+ * conditional-clocking ablation, peak-power reporting, and the
+ * HP97560 timing preset.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hh"
+#include "disk/disk.hh"
+
+using namespace softwatt;
+
+TEST(HaltOnIdle, SavesIdleEnergy)
+{
+    SystemConfig busy_cfg;
+    BenchmarkRun busy = runBenchmark(Benchmark::Jess, busy_cfg, 0.05);
+
+    SystemConfig halt_cfg;
+    halt_cfg.kernelParams.haltOnIdle = true;
+    BenchmarkRun halted =
+        runBenchmark(Benchmark::Jess, halt_cfg, 0.05);
+
+    // Halting removes idle-process activity energy but keeps the
+    // clock base and memory background running.
+    EXPECT_LT(halted.breakdown.modeEnergyJ(ExecMode::Idle),
+              busy.breakdown.modeEnergyJ(ExecMode::Idle));
+    EXPECT_GT(halted.breakdown.modeEnergyJ(ExecMode::Idle), 0.0);
+    // The workload itself is unaffected.
+    EXPECT_EQ(halted.system->kernel().workloadDone(), true);
+    EXPECT_NEAR(double(halted.system->cpu().committedInsts()),
+                double(busy.system->cpu().committedInsts()),
+                0.05 * double(busy.system->cpu().committedInsts()));
+}
+
+TEST(HaltOnIdle, IdleModeHasNoInstructionActivity)
+{
+    SystemConfig halt_cfg;
+    halt_cfg.kernelParams.haltOnIdle = true;
+    BenchmarkRun halted =
+        runBenchmark(Benchmark::Jess, halt_cfg, 0.05);
+    const CounterBank &totals = halted.system->totals();
+    EXPECT_EQ(totals.get(ExecMode::Idle, CounterId::CommittedInsts),
+              0u);
+    EXPECT_EQ(totals.get(ExecMode::Idle, CounterId::IL1Ref), 0u);
+    EXPECT_GT(totals.get(ExecMode::Idle, CounterId::Cycles), 0u);
+}
+
+TEST(HaltOnIdle, ConfigKeyWorks)
+{
+    Config args;
+    args.parseAssignment("halt_on_idle=true");
+    SystemConfig config = SystemConfig::fromConfig(args);
+    EXPECT_TRUE(config.kernelParams.haltOnIdle);
+}
+
+TEST(ConditionalClocking, AlwaysClockedCostsMore)
+{
+    SystemConfig config;
+    BenchmarkRun run = runBenchmark(Benchmark::Db, config, 0.05);
+    PowerCalculator gated(run.system->powerModel(), true);
+    PowerCalculator always(run.system->powerModel(), false);
+    double e_gated =
+        gated.process(run.system->log()).total.cpuMemEnergyJ();
+    double e_always =
+        always.process(run.system->log()).total.cpuMemEnergyJ();
+    EXPECT_GT(e_always, e_gated);
+    // Only the clock component differs.
+    PowerBreakdown g = gated.process(run.system->log()).total;
+    PowerBreakdown a = always.process(run.system->log()).total;
+    EXPECT_NEAR(a.componentEnergyJ(Component::Datapath),
+                g.componentEnergyJ(Component::Datapath), 1e-12);
+    EXPECT_GT(a.componentEnergyJ(Component::Clock),
+              g.componentEnergyJ(Component::Clock));
+}
+
+TEST(PeakPower, PeakAtLeastAverage)
+{
+    SystemConfig config;
+    BenchmarkRun run = runBenchmark(Benchmark::Jess, config, 0.05);
+    PowerTrace trace = run.system->powerTrace();
+    double avg =
+        run.breakdown.cpuMemEnergyJ() / run.breakdown.seconds();
+    double peak = peakWindowPowerW(trace);
+    EXPECT_GE(peak, avg * 0.999);
+    // And bounded by the validation maximum.
+    EXPECT_LT(peak, 30.0);
+}
+
+TEST(PeakPower, EmptyTraceIsZero)
+{
+    PowerTrace trace;
+    EXPECT_DOUBLE_EQ(peakWindowPowerW(trace), 0.0);
+}
+
+TEST(DiskTimingPresets, Hp97560IsSlower)
+{
+    DiskTimingSpec hp = DiskTimingSpec::hp97560();
+    DiskTimingSpec toshiba = DiskTimingSpec::mk3003man();
+    EXPECT_GT(hp.avgSeekMs, toshiba.avgSeekMs);
+    EXPECT_LT(hp.transferMbPerS, toshiba.transferMbPerS);
+    EXPECT_GT(hp.blockTransferMs(), toshiba.blockTransferMs());
+}

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Tests for the flat filesystem and the LRU buffer cache.
+ */
+
+#include <gtest/gtest.h>
+
+#include "os/file_system.hh"
+
+using namespace softwatt;
+
+TEST(FileSystem, FilesGetDisjointExtents)
+{
+    FileSystem fs(4096);
+    auto a = fs.createFile(10 * 4096);
+    auto b = fs.createFile(4096);
+    auto c = fs.createFile(1);  // rounds up to one block
+    const FileInfo &fa = fs.info(a);
+    const FileInfo &fb = fs.info(b);
+    const FileInfo &fc = fs.info(c);
+    EXPECT_EQ(fb.firstBlock, fa.firstBlock + 10);
+    EXPECT_EQ(fc.firstBlock, fb.firstBlock + 1);
+    EXPECT_EQ(fs.fileCount(), 3u);
+}
+
+TEST(FileSystem, BlockOfMapsOffsets)
+{
+    FileSystem fs(4096);
+    auto f = fs.createFile(10 * 4096);
+    std::uint64_t first = fs.info(f).firstBlock;
+    EXPECT_EQ(fs.blockOf(f, 0), first);
+    EXPECT_EQ(fs.blockOf(f, 4095), first);
+    EXPECT_EQ(fs.blockOf(f, 4096), first + 1);
+    EXPECT_EQ(fs.blockOf(f, 9 * 4096 + 100), first + 9);
+}
+
+TEST(FileSystemDeath, UnknownFileFatal)
+{
+    FileSystem fs;
+    EXPECT_DEATH((void)fs.info(42), "unknown file");
+}
+
+TEST(FileCache, HitAfterInsert)
+{
+    FileCache cache(4);
+    EXPECT_FALSE(cache.contains(100));
+    cache.insert(100);
+    EXPECT_TRUE(cache.contains(100));
+    EXPECT_EQ(cache.lookups(), 2u);
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_DOUBLE_EQ(cache.hitRatio(), 0.5);
+}
+
+TEST(FileCache, LruEviction)
+{
+    FileCache cache(2);
+    cache.insert(1);
+    cache.insert(2);
+    EXPECT_TRUE(cache.contains(1));  // refresh 1; 2 becomes LRU
+    cache.insert(3);                 // evicts 2
+    EXPECT_TRUE(cache.contains(1));
+    EXPECT_FALSE(cache.contains(2));
+    EXPECT_TRUE(cache.contains(3));
+    EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(FileCache, DirtyTracking)
+{
+    FileCache cache(4);
+    cache.insertDirty(1);
+    cache.insertDirty(1);  // idempotent
+    cache.insert(2);
+    EXPECT_EQ(cache.dirtyBlocks(), 1u);
+    cache.cleanAll();
+    EXPECT_EQ(cache.dirtyBlocks(), 0u);
+    EXPECT_TRUE(cache.contains(1));
+}
+
+TEST(FileCache, EvictingDirtyBlockDropsDirtyCount)
+{
+    FileCache cache(1);
+    cache.insertDirty(1);
+    cache.insert(2);  // evicts dirty block 1
+    EXPECT_EQ(cache.dirtyBlocks(), 0u);
+}
+
+TEST(FileCache, ClearEmptiesEverything)
+{
+    FileCache cache(4);
+    cache.insert(1);
+    cache.insertDirty(2);
+    cache.clear();
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_EQ(cache.dirtyBlocks(), 0u);
+}

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Tests for the two-level hierarchy: walk behaviour and counter
+ * attribution per mode.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/hierarchy.hh"
+#include "sim/counter_sink.hh"
+
+using namespace softwatt;
+
+namespace
+{
+
+struct Fixture
+{
+    MachineParams machine;
+    CounterSink sink;
+    CacheHierarchy hierarchy{machine, sink};
+
+    std::uint64_t
+    count(ExecMode mode, CounterId id) const
+    {
+        return sink.global().get(mode, id);
+    }
+};
+
+} // namespace
+
+TEST(Hierarchy, IfetchCountsReferencePerInstruction)
+{
+    Fixture f;
+    f.hierarchy.ifetch(0x1000, ExecMode::User);
+    f.hierarchy.ifetch(0x1004, ExecMode::User);
+    EXPECT_EQ(f.count(ExecMode::User, CounterId::IL1Ref), 2u);
+    // Both in the same line: a single L1 miss and L2 reference.
+    EXPECT_EQ(f.count(ExecMode::User, CounterId::IL1Miss), 1u);
+    EXPECT_EQ(f.count(ExecMode::User, CounterId::L2IRef), 1u);
+}
+
+TEST(Hierarchy, ColdMissWalksToMemory)
+{
+    Fixture f;
+    MemAccessOutcome out =
+        f.hierarchy.dataAccess(0x4000, false, ExecMode::User);
+    EXPECT_FALSE(out.l1Hit);
+    EXPECT_FALSE(out.l2Hit);
+    EXPECT_TRUE(out.memAccess);
+    EXPECT_EQ(out.latency, 1 + f.machine.l2cache.hitLatency +
+                               f.machine.memoryLatency);
+    EXPECT_EQ(f.count(ExecMode::User, CounterId::MemRef), 1u);
+}
+
+TEST(Hierarchy, WarmHitIsSingleCycle)
+{
+    Fixture f;
+    f.hierarchy.dataAccess(0x4000, false, ExecMode::User);
+    MemAccessOutcome out =
+        f.hierarchy.dataAccess(0x4000, false, ExecMode::User);
+    EXPECT_TRUE(out.l1Hit);
+    EXPECT_EQ(out.latency, 1);
+}
+
+TEST(Hierarchy, L2HitAfterL1Eviction)
+{
+    Fixture f;
+    // Touch a line, then stream enough distinct lines through the
+    // same L1 set to evict it, while the much larger L2 keeps it.
+    f.hierarchy.dataAccess(0x0, false, ExecMode::User);
+    std::uint64_t l1_span = f.machine.dcache.sizeBytes;
+    for (int i = 1; i <= 4; ++i) {
+        f.hierarchy.dataAccess(Addr(i) * l1_span, false,
+                               ExecMode::User);
+    }
+    MemAccessOutcome out =
+        f.hierarchy.dataAccess(0x0, false, ExecMode::User);
+    EXPECT_FALSE(out.l1Hit);
+    EXPECT_TRUE(out.l2Hit);
+    EXPECT_EQ(out.latency, 1 + f.machine.l2cache.hitLatency);
+}
+
+TEST(Hierarchy, ModesAreAttributedSeparately)
+{
+    Fixture f;
+    f.hierarchy.ifetch(0x1000, ExecMode::User);
+    f.hierarchy.ifetch(0x2000, ExecMode::KernelInst);
+    f.hierarchy.ifetch(0x3000, ExecMode::Idle);
+    EXPECT_EQ(f.count(ExecMode::User, CounterId::IL1Ref), 1u);
+    EXPECT_EQ(f.count(ExecMode::KernelInst, CounterId::IL1Ref), 1u);
+    EXPECT_EQ(f.count(ExecMode::Idle, CounterId::IL1Ref), 1u);
+}
+
+TEST(Hierarchy, DirtyL1VictimWritesIntoL2)
+{
+    Fixture f;
+    f.hierarchy.dataAccess(0x0, true, ExecMode::User);  // dirty
+    std::uint64_t before =
+        f.count(ExecMode::User, CounterId::L2DRef);
+    // Evict it: same-set distinct lines (2-way L1).
+    std::uint64_t l1_span = f.machine.dcache.sizeBytes / 2;
+    f.hierarchy.dataAccess(1 * l1_span, false, ExecMode::User);
+    f.hierarchy.dataAccess(2 * l1_span, false, ExecMode::User);
+    f.hierarchy.dataAccess(3 * l1_span, false, ExecMode::User);
+    std::uint64_t after = f.count(ExecMode::User, CounterId::L2DRef);
+    // Three demand walks plus at least one writeback reference.
+    EXPECT_GE(after - before, 4u);
+}
+
+TEST(Hierarchy, FlushL1DropsBothL1s)
+{
+    Fixture f;
+    f.hierarchy.ifetch(0x1000, ExecMode::User);
+    f.hierarchy.dataAccess(0x2000, false, ExecMode::User);
+    f.hierarchy.flushL1(ExecMode::KernelInst);
+    EXPECT_FALSE(f.hierarchy.icache().probe(0x1000));
+    EXPECT_FALSE(f.hierarchy.dcache().probe(0x2000));
+    // L2 still warm: refetch hits the L2, not memory.
+    MemAccessOutcome out =
+        f.hierarchy.ifetch(0x1000, ExecMode::User);
+    EXPECT_TRUE(out.l2Hit);
+}
+
+TEST(Hierarchy, TaggedAccessesReachServiceBank)
+{
+    Fixture f;
+    CounterBank bank;
+    f.sink.registerBank(5, &bank);
+    f.hierarchy.dataAccess(0x9000, false, ExecMode::KernelInst, 5);
+    EXPECT_EQ(bank.get(ExecMode::KernelInst, CounterId::DL1Ref), 1u);
+    f.sink.unregisterBank(5);
+}

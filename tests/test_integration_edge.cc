@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Edge-case integration tests: interrupts landing during blocked
+ * I/O, queued requests across spin-ups, GC-driven fault chains, and
+ * replay hygiene across fast-forward.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hh"
+#include "cpu/superscalar_cpu.hh"
+#include "os/kernel.hh"
+#include "os/syscalls.hh"
+
+using namespace softwatt;
+
+namespace
+{
+
+class ScriptProgram : public InstSource
+{
+  public:
+    std::deque<MicroOp> ops;
+
+    FetchOutcome
+    next(MicroOp &op) override
+    {
+        if (ops.empty())
+            return FetchOutcome::End;
+        op = ops.front();
+        ops.pop_front();
+        return FetchOutcome::Op;
+    }
+};
+
+struct Fixture
+{
+    MachineParams machine;
+    EventQueue queue;
+    CounterSink sink;
+    CacheHierarchy hierarchy{machine, sink};
+    Tlb tlb{64};
+    Disk disk{queue, 200e6, DiskConfig::idleOnly(), 100.0, 5};
+    Kernel::Params kparams;
+
+    MicroOp
+    readSyscall(std::uint32_t file, std::uint32_t bytes)
+    {
+        MicroOp op;
+        op.cls = InstClass::Syscall;
+        op.pc = 0x1100;
+        op.syscallId = std::uint16_t(SyscallId::Read);
+        op.syscallArg = encodeIoArg(file, 0, bytes);
+        op.asid = 1;
+        op.mode = ExecMode::User;
+        return op;
+    }
+};
+
+} // namespace
+
+TEST(IntegrationEdge, ClockInterruptDuringBlockedRead)
+{
+    Fixture f;
+    f.kparams.clockTickSeconds = 0.001;  // 2k-cycle tick: lands
+                                         // inside the disk wait
+    Kernel kernel(f.queue, f.tlb, f.hierarchy, f.disk, f.machine,
+                  f.kparams, f.sink);
+    SuperscalarCpu cpu(f.machine, f.hierarchy, f.tlb, f.sink, kernel);
+
+    ScriptProgram program;
+    auto file = kernel.fs().createFile(64 * 1024);
+    program.ops.push_back(f.readSyscall(file, 4096));
+    kernel.setUserProgram(&program);
+    kernel.startClock();
+
+    for (int i = 0; i < 3'000'000; ++i) {
+        bool alive = cpu.cycle();
+        f.queue.advanceTo(f.queue.now() + 1);
+        if (!alive)
+            break;
+    }
+    // The read completed despite interrupts landing mid-wait...
+    EXPECT_TRUE(kernel.workloadDone());
+    EXPECT_EQ(kernel.serviceStats(ServiceKind::Read).invocations, 1u);
+    // ...and the timer kept firing while the process was blocked.
+    EXPECT_GE(kernel.clockInterrupts(), 2u);
+    EXPECT_EQ(f.sink.liveBanks(), 0u);
+}
+
+TEST(IntegrationEdge, QueuedRequestsAcrossASpinup)
+{
+    EventQueue queue;
+    Disk disk(queue, 200e6, DiskConfig::spindown(2.0), 100.0, 7);
+    // Reach STANDBY.
+    disk.submit(100, 1, [] {});
+    queue.runUntil(Tick(10.0 / 100.0 * 200e6));
+    ASSERT_EQ(disk.state(), DiskState::Standby);
+    // Three requests queue behind one spin-up.
+    int done = 0;
+    disk.submit(200, 1, [&] { ++done; });
+    disk.submit(300, 1, [&] { ++done; });
+    disk.submit(400, 1, [&] { ++done; });
+    queue.runUntil(queue.now() + Tick(10.0 / 100.0 * 200e6));
+    EXPECT_EQ(done, 3);
+    EXPECT_EQ(disk.spinUps(), 1u);  // one spin-up serves all three
+}
+
+TEST(IntegrationEdge, GcBurstsDriveFaultChains)
+{
+    // javac has the densest GC schedule: every burst first-touches
+    // fresh allocation pages, so demand_zero tracks the GC count.
+    WorkloadSpec spec = scaleWorkload(benchmarkSpec(Benchmark::Javac),
+                                      0.05);
+    std::uint64_t gc_bursts = spec.mainInsts / spec.gcPeriodInsts;
+    ASSERT_GE(gc_bursts, 2u);
+
+    SystemConfig config;
+    System sys(config);
+    sys.attachWorkload(std::make_unique<Workload>(spec));
+    sys.run();
+
+    const ServiceStats &dz =
+        sys.kernel().serviceStats(ServiceKind::DemandZero);
+    const ServiceStats &vf =
+        sys.kernel().serviceStats(ServiceKind::Vfault);
+    EXPECT_GE(dz.invocations, gc_bursts);
+    // vfault accompanies a fraction of first touches, never exceeds.
+    EXPECT_LE(vf.invocations, dz.invocations);
+    EXPECT_GT(vf.invocations, 0u);
+}
+
+TEST(IntegrationEdge, FastForwardPreservesInFlightWork)
+{
+    // A benchmark heavy in blocking I/O: every block boundary runs
+    // squash-collect + requeue; nothing may be lost or duplicated.
+    SystemConfig config;
+    config.idleFastForwardAfter = 32;  // aggressive fast-forward
+    BenchmarkRun eager = runBenchmark(Benchmark::Jess, config, 0.03);
+
+    SystemConfig lazy_config;
+    lazy_config.idleFastForwardAfter = 100'000'000;  // never
+    BenchmarkRun lazy =
+        runBenchmark(Benchmark::Jess, lazy_config, 0.03);
+
+    // Committed user work must match exactly; only idle-loop filler
+    // differs between the two runs.
+    EXPECT_EQ(eager.system->totals().get(ExecMode::User,
+                                         CounterId::CommittedInsts),
+              lazy.system->totals().get(ExecMode::User,
+                                        CounterId::CommittedInsts));
+    EXPECT_EQ(
+        eager.system->kernel().serviceStats(ServiceKind::Read)
+            .invocations,
+        lazy.system->kernel().serviceStats(ServiceKind::Read)
+            .invocations);
+}
+
+TEST(IntegrationEdge, WorkloadColdBurstsHitTheDisk)
+{
+    // compress's cold bursts stream never-cached file regions: the
+    // disk must see mid-run requests well after the load phase.
+    SystemConfig config;
+    BenchmarkRun run = runBenchmark(Benchmark::Compress, config, 0.2);
+    // Load phase alone needs ~2 requests per class file with 128KB
+    // prefetch; cold bursts add more on top.
+    WorkloadSpec spec = scaleWorkload(
+        benchmarkSpec(Benchmark::Compress), 0.2);
+    std::uint64_t load_requests_upper =
+        std::uint64_t(spec.numClassFiles) *
+        (spec.classFileBytes / (128 * 1024) + 1);
+    EXPECT_GT(run.system->disk().requestsServed(),
+              load_requests_upper);
+}
+
+TEST(IntegrationEdge, SampleWindowGranularityDoesNotChangeEnergy)
+{
+    // The post-processing pass loses per-cycle detail, not energy:
+    // totals are window-size invariant (paper Section 2).
+    SystemConfig coarse;
+    coarse.sampleWindow = 500'000;
+    SystemConfig fine;
+    fine.sampleWindow = 10'000;
+    BenchmarkRun a = runBenchmark(Benchmark::Db, coarse, 0.03);
+    BenchmarkRun b = runBenchmark(Benchmark::Db, fine, 0.03);
+    EXPECT_EQ(a.system->now(), b.system->now());
+    // Clock energy depends mildly on windowing (activity averaging),
+    // so compare with a small tolerance.
+    EXPECT_NEAR(a.breakdown.cpuMemEnergyJ(),
+                b.breakdown.cpuMemEnergyJ(),
+                0.02 * a.breakdown.cpuMemEnergyJ());
+}

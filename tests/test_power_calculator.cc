@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Tests for the post-processing power pass.
+ */
+
+#include <gtest/gtest.h>
+
+#include "power/power_calculator.hh"
+
+using namespace softwatt;
+
+namespace
+{
+
+struct Fixture
+{
+    MachineParams machine;
+    CpuPowerModel model{machine, true};
+    PowerCalculator calc{model};
+};
+
+CounterBank
+userBank(Cycles cycles, std::uint64_t il1, std::uint64_t alu)
+{
+    CounterBank bank;
+    bank.addTo(ExecMode::User, CounterId::Cycles, cycles);
+    bank.addTo(ExecMode::User, CounterId::IL1Ref, il1);
+    bank.addTo(ExecMode::User, CounterId::IntAluOp, alu);
+    return bank;
+}
+
+} // namespace
+
+TEST(PowerCalculator, CacheEnergyIsLinearInReferences)
+{
+    Fixture f;
+    CounterBank one = userBank(100, 10, 0);
+    CounterBank two = userBank(100, 20, 0);
+    ComponentEnergy e1 =
+        f.calc.energiesForMode(one, ExecMode::User, 100);
+    ComponentEnergy e2 =
+        f.calc.energiesForMode(two, ExecMode::User, 100);
+    EXPECT_NEAR(e2[int(Component::L1ICache)],
+                2.0 * e1[int(Component::L1ICache)], 1e-15);
+}
+
+TEST(PowerCalculator, IL1EnergyMatchesUnitEnergy)
+{
+    Fixture f;
+    CounterBank bank = userBank(100, 1000, 0);
+    ComponentEnergy e =
+        f.calc.energiesForMode(bank, ExecMode::User, 100);
+    double expected =
+        1000 * f.model.energies().il1ReadNj * 1e-9;
+    EXPECT_NEAR(e[int(Component::L1ICache)], expected, 1e-12);
+}
+
+TEST(PowerCalculator, ClockActivityBounds)
+{
+    Fixture f;
+    CounterBank idle = userBank(1000, 0, 0);
+    EXPECT_DOUBLE_EQ(
+        f.calc.clockActivity(idle, ExecMode::User, 1000), 0.0);
+
+    CounterBank busy;
+    busy.addTo(ExecMode::User, CounterId::Cycles, 100);
+    for (int c = 0; c < numCounters; ++c)
+        busy.addTo(ExecMode::User, CounterId(c), 1'000'000);
+    double act = f.calc.clockActivity(busy, ExecMode::User, 100);
+    EXPECT_GT(act, 0.9);
+    EXPECT_LE(act, 1.0);
+}
+
+TEST(PowerCalculator, ClockActivityMonotoneInActivity)
+{
+    Fixture f;
+    CounterBank lo = userBank(1000, 500, 100);
+    CounterBank hi = userBank(1000, 2000, 800);
+    EXPECT_LT(f.calc.clockActivity(lo, ExecMode::User, 1000),
+              f.calc.clockActivity(hi, ExecMode::User, 1000));
+}
+
+TEST(PowerCalculator, MemoryBackgroundChargedPerModeSeconds)
+{
+    Fixture f;
+    CounterBank bank;
+    bank.addTo(ExecMode::Idle, CounterId::Cycles, 200'000'000);
+    ComponentEnergy e =
+        f.calc.energiesForMode(bank, ExecMode::Idle, 200'000'000);
+    // 1 second at 200 MHz: background energy == background power.
+    EXPECT_NEAR(e[int(Component::Memory)],
+                f.model.memoryModel().backgroundPowerW(), 1e-6);
+}
+
+TEST(PowerCalculator, ProcessTotalsEqualWindowSums)
+{
+    Fixture f;
+    SampleLog log;
+    for (int w = 0; w < 3; ++w) {
+        SampleRecord rec;
+        rec.startTick = w * 1000;
+        rec.endTick = (w + 1) * 1000;
+        rec.counters = userBank(1000, 800 + w * 100, 300);
+        log.append(rec);
+    }
+    PowerTrace trace = f.calc.process(log);
+    ASSERT_EQ(trace.windows.size(), 3u);
+    EXPECT_EQ(trace.total.cycles[int(ExecMode::User)], 3000u);
+
+    double window_il1 = 0;
+    for (const SampleRecord &rec : log.all()) {
+        window_il1 +=
+            f.calc.energiesForMode(rec.counters, ExecMode::User,
+                                   1000)[int(Component::L1ICache)];
+    }
+    EXPECT_NEAR(trace.total.energyJ[int(ExecMode::User)]
+                                   [int(Component::L1ICache)],
+                window_il1, 1e-15);
+}
+
+TEST(PowerCalculator, TotalEnergyEqualsComponentSum)
+{
+    Fixture f;
+    CounterBank bank = userBank(5000, 4000, 1500);
+    bank.addTo(ExecMode::KernelInst, CounterId::Cycles, 500);
+    bank.addTo(ExecMode::KernelInst, CounterId::IL1Ref, 400);
+    ComponentEnergy by = f.calc.componentEnergiesOf(bank);
+    double sum = 0;
+    for (double e : by)
+        sum += e;
+    EXPECT_NEAR(f.calc.totalEnergyJ(bank), sum, 1e-15);
+}
+
+TEST(PowerBreakdown, SharesSumToHundred)
+{
+    Fixture f;
+    SampleLog log;
+    SampleRecord rec;
+    rec.startTick = 0;
+    rec.endTick = 10000;
+    rec.counters = userBank(10000, 9000, 4000);
+    log.append(rec);
+    PowerBreakdown total = f.calc.process(log).total;
+    total.diskEnergyJ = total.cpuMemEnergyJ() * 0.3;
+    double sum = 0;
+    for (Component c : allComponents)
+        sum += total.componentSharePct(c);
+    EXPECT_NEAR(sum, 100.0, 1e-6);
+}
+
+TEST(PowerBreakdown, ModePowerUsesModeCycles)
+{
+    Fixture f;
+    SampleLog log;
+    SampleRecord rec;
+    rec.startTick = 0;
+    rec.endTick = 2000;
+    rec.counters = userBank(1000, 2000, 760);
+    rec.counters.addTo(ExecMode::Idle, CounterId::Cycles, 1000);
+    log.append(rec);
+    PowerBreakdown total = f.calc.process(log).total;
+    // User mode has all the activity: its power must exceed idle's.
+    EXPECT_GT(total.modeAvgPowerW(ExecMode::User),
+              total.modeAvgPowerW(ExecMode::Idle));
+}
+
+TEST(PowerBreakdown, AccumulateAdds)
+{
+    Fixture f;
+    PowerBreakdown a, b;
+    a.cycles[0] = 100;
+    a.energyJ[0][0] = 1.5;
+    a.diskEnergyJ = 2.0;
+    b.cycles[0] = 50;
+    b.energyJ[0][0] = 0.5;
+    b.diskEnergyJ = 1.0;
+    a.accumulate(b);
+    EXPECT_EQ(a.cycles[0], 150u);
+    EXPECT_DOUBLE_EQ(a.energyJ[0][0], 2.0);
+    EXPECT_DOUBLE_EQ(a.diskEnergyJ, 3.0);
+}

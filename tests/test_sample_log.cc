@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Unit tests for the sampled simulation log and its CSV round trip.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/sample_log.hh"
+
+using namespace softwatt;
+
+namespace
+{
+
+SampleRecord
+makeRecord(Tick start, Tick end, std::uint64_t il1_user)
+{
+    SampleRecord rec;
+    rec.startTick = start;
+    rec.endTick = end;
+    rec.counters.addTo(ExecMode::User, CounterId::IL1Ref, il1_user);
+    rec.counters.addTo(ExecMode::User, CounterId::Cycles,
+                       end - start);
+    return rec;
+}
+
+} // namespace
+
+TEST(SampleLog, AppendAndSize)
+{
+    SampleLog log;
+    EXPECT_TRUE(log.empty());
+    log.append(makeRecord(0, 100, 5));
+    log.append(makeRecord(100, 250, 7));
+    EXPECT_EQ(log.size(), 2u);
+    EXPECT_EQ(log.at(1).length(), 150u);
+}
+
+TEST(SampleLog, TotalsSumWindows)
+{
+    SampleLog log;
+    log.append(makeRecord(0, 100, 5));
+    log.append(makeRecord(100, 250, 7));
+    CounterBank totals = log.totals();
+    EXPECT_EQ(totals.get(ExecMode::User, CounterId::IL1Ref), 12u);
+    EXPECT_EQ(log.totalCycles(), 250u);
+}
+
+TEST(SampleLog, CsvRoundTrip)
+{
+    SampleLog log;
+    SampleRecord rec = makeRecord(0, 1000, 42);
+    rec.counters.addTo(ExecMode::KernelSync, CounterId::IntAluOp, 9);
+    rec.counters.addTo(ExecMode::Idle, CounterId::MemRef, 3);
+    log.append(rec);
+    log.append(makeRecord(1000, 2000, 17));
+
+    std::stringstream buffer;
+    log.writeCsv(buffer);
+
+    SampleLog loaded;
+    ASSERT_TRUE(SampleLog::readCsv(buffer, loaded));
+    ASSERT_EQ(loaded.size(), 2u);
+    EXPECT_EQ(loaded.at(0).startTick, 0u);
+    EXPECT_EQ(loaded.at(0).endTick, 1000u);
+    EXPECT_EQ(loaded.at(0).counters.get(ExecMode::User,
+                                        CounterId::IL1Ref),
+              42u);
+    EXPECT_EQ(loaded.at(0).counters.get(ExecMode::KernelSync,
+                                        CounterId::IntAluOp),
+              9u);
+    EXPECT_EQ(loaded.at(0).counters.get(ExecMode::Idle,
+                                        CounterId::MemRef),
+              3u);
+    EXPECT_EQ(loaded.at(1).counters.get(ExecMode::User,
+                                        CounterId::IL1Ref),
+              17u);
+}
+
+TEST(SampleLog, CsvHeaderListsAllCounters)
+{
+    SampleLog log;
+    std::stringstream buffer;
+    log.writeCsv(buffer);
+    std::string header;
+    std::getline(buffer, header);
+    for (int c = 0; c < numCounters; ++c) {
+        EXPECT_NE(header.find(counterName(CounterId(c))),
+                  std::string::npos)
+            << counterName(CounterId(c));
+    }
+}
+
+TEST(SampleLog, ReadCsvRejectsEmptyInput)
+{
+    std::stringstream empty;
+    SampleLog out;
+    EXPECT_FALSE(SampleLog::readCsv(empty, out));
+}

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Unit tests for the statistics package.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "sim/stats.hh"
+
+using namespace softwatt;
+
+TEST(StatsScalar, AccumulatesAndResets)
+{
+    stats::Group g("grp");
+    stats::Scalar s(g, "count", "a counter");
+    s += 2.5;
+    ++s;
+    EXPECT_DOUBLE_EQ(s.value(), 3.5);
+    s.reset();
+    EXPECT_DOUBLE_EQ(s.value(), 0.0);
+}
+
+TEST(StatsVector, BucketsAndTotal)
+{
+    stats::Group g("grp");
+    stats::Vector v(g, "hits", "per-level hits", {"l1", "l2", "mem"});
+    v.add(0, 3);
+    v.add(1);
+    v.add(2, 6);
+    EXPECT_DOUBLE_EQ(v.value(0), 3);
+    EXPECT_DOUBLE_EQ(v.value(1), 1);
+    EXPECT_DOUBLE_EQ(v.total(), 10);
+    EXPECT_EQ(v.size(), 3u);
+}
+
+TEST(StatsVectorDeath, OutOfRangeBucketPanics)
+{
+    stats::Group g("grp");
+    stats::Vector v(g, "v", "d", {"a"});
+    EXPECT_DEATH(v.add(5), "out of range");
+}
+
+TEST(StatsDistribution, MomentsMatchHand)
+{
+    stats::Group g("grp");
+    stats::Distribution d(g, "lat", "latency");
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        d.sample(x);
+    EXPECT_EQ(d.count(), 8u);
+    EXPECT_DOUBLE_EQ(d.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(d.minimum(), 2.0);
+    EXPECT_DOUBLE_EQ(d.maximum(), 9.0);
+    // Sample stdev of this classic set is sqrt(32/7).
+    EXPECT_NEAR(d.stdev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(StatsDistribution, CoeffOfDeviation)
+{
+    stats::Group g("grp");
+    stats::Distribution d(g, "e", "energy");
+    d.sample(10);
+    d.sample(10);
+    EXPECT_DOUBLE_EQ(d.coeffOfDeviationPct(), 0.0);
+    d.sample(13);
+    EXPECT_GT(d.coeffOfDeviationPct(), 0.0);
+}
+
+TEST(StatsDistribution, SingleSampleHasZeroStdev)
+{
+    stats::Group g("grp");
+    stats::Distribution d(g, "e", "energy");
+    d.sample(4);
+    EXPECT_DOUBLE_EQ(d.stdev(), 0.0);
+}
+
+TEST(StatsGroup, DumpContainsNamesAndValues)
+{
+    stats::Group g("cpu");
+    stats::Scalar s(g, "ipc", "instructions per cycle");
+    s += 1.5;
+    std::ostringstream out;
+    g.dump(out);
+    std::string text = out.str();
+    EXPECT_NE(text.find("cpu.ipc"), std::string::npos);
+    EXPECT_NE(text.find("1.5"), std::string::npos);
+    EXPECT_NE(text.find("instructions per cycle"),
+              std::string::npos);
+}
+
+TEST(StatsGroup, ResetAllResetsEveryStat)
+{
+    stats::Group g("grp");
+    stats::Scalar a(g, "a", "");
+    stats::Distribution d(g, "d", "");
+    a += 5;
+    d.sample(1);
+    g.resetAll();
+    EXPECT_DOUBLE_EQ(a.value(), 0);
+    EXPECT_EQ(d.count(), 0u);
+}

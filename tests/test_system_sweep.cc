@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Parameterized full-system property sweep: the system invariants
+ * must hold across CPU models and cache geometries, and cache-size
+ * effects must point the right way.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/experiment.hh"
+
+using namespace softwatt;
+
+namespace
+{
+
+BenchmarkRun
+sweepRun(CpuModel model, int icache_kb, int dcache_kb)
+{
+    SystemConfig config;
+    config.cpuModel = model;
+    config.machine.icache.sizeBytes =
+        std::uint64_t(icache_kb) * 1024;
+    config.machine.dcache.sizeBytes =
+        std::uint64_t(dcache_kb) * 1024;
+    return runBenchmark(Benchmark::Db, config, 0.02);
+}
+
+} // namespace
+
+class SystemSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>>
+{
+};
+
+TEST_P(SystemSweep, InvariantsHoldAcrossConfigurations)
+{
+    auto [model, icache_kb, dcache_kb] = GetParam();
+    BenchmarkRun run =
+        sweepRun(CpuModel(model), icache_kb, dcache_kb);
+    System &sys = *run.system;
+
+    // Completes and attributes every cycle to a mode.
+    EXPECT_TRUE(sys.kernel().workloadDone());
+    std::uint64_t mode_cycles = 0;
+    for (ExecMode m : allExecModes)
+        mode_cycles += sys.totals().get(m, CounterId::Cycles);
+    EXPECT_EQ(mode_cycles, sys.now());
+
+    // Energy accounting is complete and positive.
+    EXPECT_GT(run.breakdown.cpuMemEnergyJ(), 0.0);
+    double share = 0;
+    for (Component c : allComponents)
+        share += run.breakdown.componentSharePct(c);
+    EXPECT_NEAR(share, 100.0, 1e-6);
+
+    // Fetches can never trail commits.
+    EXPECT_GE(sys.totals().total(CounterId::FetchedInsts),
+              sys.totals().total(CounterId::CommittedInsts));
+
+    // Misses never exceed references at any level.
+    EXPECT_LE(sys.totals().total(CounterId::IL1Miss),
+              sys.totals().total(CounterId::IL1Ref));
+    EXPECT_LE(sys.totals().total(CounterId::DL1Miss),
+              sys.totals().total(CounterId::DL1Ref));
+    EXPECT_LE(sys.totals().total(CounterId::TlbMiss),
+              sys.totals().total(CounterId::TlbRef));
+
+    // Every service frame was finalized.
+    std::uint64_t emitted_cycles = sys.kernel().totalServiceCycles();
+    EXPECT_GT(emitted_cycles, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, SystemSweep,
+    ::testing::Combine(
+        ::testing::Values(int(CpuModel::InOrder),
+                          int(CpuModel::Superscalar)),
+        ::testing::Values(8, 32),
+        ::testing::Values(8, 32)));
+
+TEST(SystemSweepEffects, SmallerICacheMissesMore)
+{
+    BenchmarkRun small = sweepRun(CpuModel::Superscalar, 4, 32);
+    BenchmarkRun big = sweepRun(CpuModel::Superscalar, 32, 32);
+    EXPECT_GT(small.system->hierarchy().icache().missRatio(),
+              big.system->hierarchy().icache().missRatio());
+    EXPECT_GE(small.system->now(), big.system->now());
+}
+
+TEST(SystemSweepEffects, SmallerDCacheMissesMore)
+{
+    BenchmarkRun small = sweepRun(CpuModel::Superscalar, 32, 4);
+    BenchmarkRun big = sweepRun(CpuModel::Superscalar, 32, 32);
+    EXPECT_GT(small.system->hierarchy().dcache().missRatio(),
+              big.system->hierarchy().dcache().missRatio());
+}
+
+TEST(SystemSweepEffects, NarrowerMachineIsSlower)
+{
+    SystemConfig narrow;
+    narrow.machine.fetchWidth = narrow.machine.decodeWidth =
+        narrow.machine.issueWidth = narrow.machine.commitWidth = 1;
+    BenchmarkRun one = runBenchmark(Benchmark::Db, narrow, 0.02);
+    BenchmarkRun four =
+        runBenchmark(Benchmark::Db, SystemConfig{}, 0.02);
+    EXPECT_GT(one.system->now(), four.system->now());
+}
+
+TEST(SystemSweepEffects, SmallerTlbTrapsMore)
+{
+    SystemConfig small_tlb;
+    small_tlb.machine.tlbEntries = 16;
+    BenchmarkRun small =
+        runBenchmark(Benchmark::Db, small_tlb, 0.02);
+    BenchmarkRun big =
+        runBenchmark(Benchmark::Db, SystemConfig{}, 0.02);
+    EXPECT_GT(
+        small.system->kernel().serviceStats(ServiceKind::Utlb)
+            .invocations,
+        big.system->kernel().serviceStats(ServiceKind::Utlb)
+            .invocations);
+}
+
+TEST(SystemSweepEffects, LowerVddLowersEnergy)
+{
+    SystemConfig low;
+    low.machine.vdd = 2.5;
+    low.useCalibratedPower = false;  // analytical models scale Vdd
+    SystemConfig high;
+    high.machine.vdd = 3.3;
+    high.useCalibratedPower = false;
+    BenchmarkRun lo = runBenchmark(Benchmark::Db, low, 0.02);
+    BenchmarkRun hi = runBenchmark(Benchmark::Db, high, 0.02);
+    EXPECT_LT(lo.breakdown.cpuMemEnergyJ(),
+              hi.breakdown.cpuMemEnergyJ());
+}

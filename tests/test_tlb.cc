@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Unit tests for the software-managed TLB and the page table.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/page_table.hh"
+#include "mem/tlb.hh"
+
+using namespace softwatt;
+
+TEST(Tlb, MissUntilInserted)
+{
+    Tlb tlb(4);
+    EXPECT_FALSE(tlb.lookup(1, 0x1000));
+    tlb.insert(1, 0x1000);
+    EXPECT_TRUE(tlb.lookup(1, 0x1000));
+    EXPECT_TRUE(tlb.lookup(1, 0x1ffc));  // same page
+    EXPECT_FALSE(tlb.lookup(1, 0x2000)); // next page
+    EXPECT_EQ(tlb.refs(), 4u);
+    EXPECT_EQ(tlb.misses(), 2u);
+}
+
+TEST(Tlb, AsidsAreIsolated)
+{
+    Tlb tlb(4);
+    tlb.insert(1, 0x1000);
+    EXPECT_FALSE(tlb.lookup(2, 0x1000));
+    EXPECT_TRUE(tlb.lookup(1, 0x1000));
+}
+
+TEST(Tlb, LruReplacement)
+{
+    Tlb tlb(2);
+    tlb.insert(1, 0x1000);
+    tlb.insert(1, 0x2000);
+    EXPECT_TRUE(tlb.lookup(1, 0x1000));  // refresh page 1
+    tlb.insert(1, 0x3000);               // evicts page 2
+    EXPECT_TRUE(tlb.lookup(1, 0x1000));
+    EXPECT_FALSE(tlb.lookup(1, 0x2000));
+    EXPECT_TRUE(tlb.lookup(1, 0x3000));
+}
+
+TEST(Tlb, DoubleInsertIsIdempotent)
+{
+    Tlb tlb(2);
+    tlb.insert(1, 0x1000);
+    tlb.insert(1, 0x1000);
+    tlb.insert(1, 0x2000);
+    EXPECT_TRUE(tlb.lookup(1, 0x1000));
+    EXPECT_TRUE(tlb.lookup(1, 0x2000));
+}
+
+TEST(Tlb, InvalidateAsidOnlyDropsThatSpace)
+{
+    Tlb tlb(4);
+    tlb.insert(1, 0x1000);
+    tlb.insert(2, 0x1000);
+    tlb.invalidateAsid(1);
+    EXPECT_FALSE(tlb.lookup(1, 0x1000));
+    EXPECT_TRUE(tlb.lookup(2, 0x1000));
+}
+
+TEST(Tlb, InvalidateAllDropsEverything)
+{
+    Tlb tlb(4);
+    tlb.insert(1, 0x1000);
+    tlb.insert(2, 0x2000);
+    tlb.invalidateAll();
+    EXPECT_FALSE(tlb.lookup(1, 0x1000));
+    EXPECT_FALSE(tlb.lookup(2, 0x2000));
+}
+
+TEST(Tlb, CapacityIsRespected)
+{
+    Tlb tlb(64);
+    for (int p = 0; p < 64; ++p)
+        tlb.insert(1, Addr(p) * 4096);
+    for (int p = 0; p < 64; ++p)
+        EXPECT_TRUE(tlb.lookup(1, Addr(p) * 4096)) << p;
+    tlb.insert(1, 64 * 4096);
+    int hits = 0;
+    for (int p = 0; p <= 64; ++p)
+        hits += tlb.lookup(1, Addr(p) * 4096);
+    EXPECT_EQ(hits, 64);  // exactly one got evicted
+}
+
+TEST(TlbDeath, BadParamsFatal)
+{
+    EXPECT_DEATH(Tlb(0), "at least one");
+    EXPECT_DEATH(Tlb(4, 3000), "power of two");
+}
+
+TEST(PageTable, MapAndQuery)
+{
+    PageTable pt(4096);
+    EXPECT_FALSE(pt.isMapped(0x1000));
+    EXPECT_TRUE(pt.map(0x1000));
+    EXPECT_FALSE(pt.map(0x1400));  // same page: already mapped
+    EXPECT_TRUE(pt.isMapped(0x1000));
+    EXPECT_TRUE(pt.isMapped(0x1fff));
+    EXPECT_FALSE(pt.isMapped(0x2000));
+    EXPECT_EQ(pt.mappedPages(), 1u);
+}
+
+TEST(PageTable, ClearDropsMappings)
+{
+    PageTable pt(4096);
+    pt.map(0x1000);
+    pt.clear();
+    EXPECT_FALSE(pt.isMapped(0x1000));
+    EXPECT_EQ(pt.mappedPages(), 0u);
+}

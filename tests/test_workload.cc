@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Tests for the synthetic SPEC JVM98 workload equivalents.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "os/syscalls.hh"
+#include "workload/workload.hh"
+
+using namespace softwatt;
+
+namespace
+{
+
+/** Drain a workload, tallying syscalls (Stall never expected). */
+struct Tally
+{
+    std::map<std::uint16_t, int> syscalls;
+    std::uint64_t ops = 0;
+    std::uint64_t mem_ops = 0;
+};
+
+Tally
+drain(Workload &wl, std::uint64_t cap = 50'000'000)
+{
+    Tally tally;
+    MicroOp op;
+    while (tally.ops < cap) {
+        FetchOutcome outcome = wl.next(op);
+        if (outcome == FetchOutcome::End)
+            break;
+        EXPECT_EQ(outcome, FetchOutcome::Op);
+        ++tally.ops;
+        tally.mem_ops += op.isMemOp();
+        if (op.cls == InstClass::Syscall)
+            ++tally.syscalls[op.syscallId];
+    }
+    return tally;
+}
+
+WorkloadSpec
+tinySpec(Benchmark b)
+{
+    return scaleWorkload(benchmarkSpec(b), 0.02);
+}
+
+} // namespace
+
+TEST(Workload, AllBenchmarksHaveSpecs)
+{
+    for (Benchmark b : allBenchmarks) {
+        WorkloadSpec spec = benchmarkSpec(b);
+        EXPECT_EQ(spec.name, benchmarkName(b));
+        EXPECT_GT(spec.mainInsts, 1'000'000u);
+        EXPECT_GT(spec.numClassFiles, 0);
+    }
+}
+
+TEST(Workload, RunsToCompletionAndEnds)
+{
+    FileSystem fs;
+    Workload wl(tinySpec(Benchmark::Jess));
+    wl.registerFiles(fs);
+    Tally tally = drain(wl);
+    EXPECT_TRUE(wl.done());
+    EXPECT_GT(tally.ops, 100'000u);
+    MicroOp op;
+    EXPECT_EQ(wl.next(op), FetchOutcome::End);
+}
+
+TEST(Workload, LoadPhaseOpensAndReadsEveryClassFile)
+{
+    FileSystem fs;
+    WorkloadSpec spec = tinySpec(Benchmark::Jess);
+    Workload wl(spec);
+    wl.registerFiles(fs);
+    Tally tally = drain(wl);
+    EXPECT_GE(tally.syscalls[std::uint16_t(SyscallId::Open)],
+              spec.numClassFiles);
+    int reads_per_file = int((spec.classFileBytes +
+                              spec.loadReadChunk - 1) /
+                             spec.loadReadChunk);
+    EXPECT_GE(tally.syscalls[std::uint16_t(SyscallId::Read)],
+              spec.numClassFiles * reads_per_file);
+}
+
+TEST(Workload, JitPhaseIssuesCacheFlushes)
+{
+    FileSystem fs;
+    WorkloadSpec spec = tinySpec(Benchmark::Jess);
+    Workload wl(spec);
+    wl.registerFiles(fs);
+    Tally tally = drain(wl);
+    EXPECT_GE(tally.syscalls[std::uint16_t(SyscallId::CacheFlush)],
+              spec.jitFlushes / 2);
+}
+
+TEST(Workload, BenchmarkSyscallProfilesDiffer)
+{
+    FileSystem fs_db, fs_mtrt;
+    Workload db(tinySpec(Benchmark::Db));
+    Workload mtrt(tinySpec(Benchmark::Mtrt));
+    db.registerFiles(fs_db);
+    mtrt.registerFiles(fs_mtrt);
+    Tally db_tally = drain(db);
+    Tally mtrt_tally = drain(mtrt);
+    // du_poll is db's signature service (paper Table 4).
+    EXPECT_GT(db_tally.syscalls[std::uint16_t(SyscallId::DuPoll)], 0);
+    EXPECT_EQ(mtrt_tally.syscalls[std::uint16_t(SyscallId::DuPoll)],
+              0);
+}
+
+TEST(Workload, MtrtIsFpHeavy)
+{
+    FileSystem fs_a, fs_b;
+    Workload mtrt(tinySpec(Benchmark::Mtrt));
+    Workload compress(tinySpec(Benchmark::Compress));
+    mtrt.registerFiles(fs_a);
+    compress.registerFiles(fs_b);
+    auto count_fp = [](Workload &wl) {
+        std::uint64_t fp = 0, total = 0;
+        MicroOp op;
+        while (wl.next(op) == FetchOutcome::Op && total < 2'000'000) {
+            ++total;
+            fp += (op.cls == InstClass::FpAlu);
+        }
+        return double(fp) / double(total);
+    };
+    EXPECT_GT(count_fp(mtrt), 3.0 * count_fp(compress));
+}
+
+TEST(Workload, DeterministicForSameSpec)
+{
+    FileSystem fs_a, fs_b;
+    Workload a(tinySpec(Benchmark::Javac));
+    Workload b(tinySpec(Benchmark::Javac));
+    a.registerFiles(fs_a);
+    b.registerFiles(fs_b);
+    MicroOp x, y;
+    for (int i = 0; i < 200000; ++i) {
+        FetchOutcome oa = a.next(x);
+        FetchOutcome ob = b.next(y);
+        ASSERT_EQ(int(oa), int(ob));
+        if (oa != FetchOutcome::Op)
+            break;
+        ASSERT_EQ(x.pc, y.pc);
+        ASSERT_EQ(int(x.cls), int(y.cls));
+        ASSERT_EQ(x.syscallArg, y.syscallArg);
+    }
+}
+
+TEST(Workload, PremapRangesCoverTheHeap)
+{
+    Workload wl(benchmarkSpec(Benchmark::Jess));
+    auto ranges = wl.premapRanges();
+    ASSERT_FALSE(ranges.empty());
+    const WorkloadSpec &spec = wl.spec();
+    EXPECT_EQ(ranges[0].base, spec.mainSpec.dataBase);
+    EXPECT_EQ(ranges[0].bytes, spec.mainSpec.dataFootprint);
+}
+
+TEST(Workload, ScaleWorkloadShrinksCounts)
+{
+    WorkloadSpec full = benchmarkSpec(Benchmark::Jack);
+    WorkloadSpec half = scaleWorkload(full, 0.5);
+    EXPECT_EQ(half.mainInsts, full.mainInsts / 2);
+    EXPECT_EQ(half.gcPeriodInsts, full.gcPeriodInsts / 2);
+    EXPECT_GE(half.classFileBytes, 4096u);
+}
+
+TEST(Workload, UserOpsCarryUserModeAndAsid)
+{
+    FileSystem fs;
+    Workload wl(tinySpec(Benchmark::Db));
+    wl.registerFiles(fs);
+    MicroOp op;
+    for (int i = 0; i < 100000; ++i) {
+        if (wl.next(op) != FetchOutcome::Op)
+            break;
+        ASSERT_EQ(int(op.mode), int(ExecMode::User));
+        ASSERT_FALSE(op.kernelMapped);
+    }
+}
+
+TEST(WorkloadDeath, UnregisteredFilesFatal)
+{
+    Workload wl(tinySpec(Benchmark::Jess));
+    MicroOp op;
+    EXPECT_DEATH(wl.next(op), "registered");
+}
