@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_trace_estimate.dir/bench_trace_estimate.cpp.o"
+  "CMakeFiles/bench_trace_estimate.dir/bench_trace_estimate.cpp.o.d"
+  "bench_trace_estimate"
+  "bench_trace_estimate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_trace_estimate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_validation.cpp" "bench/CMakeFiles/bench_validation.dir/bench_validation.cpp.o" "gcc" "bench/CMakeFiles/bench_validation.dir/bench_validation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/softwatt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/softwatt_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/softwatt_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/softwatt_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/softwatt_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/softwatt_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/softwatt_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/softwatt_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disk_policy_explorer.dir/disk_policy_explorer.cpp.o"
+  "CMakeFiles/disk_policy_explorer.dir/disk_policy_explorer.cpp.o.d"
+  "disk_policy_explorer"
+  "disk_policy_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disk_policy_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

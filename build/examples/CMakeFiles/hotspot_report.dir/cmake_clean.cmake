@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotspot_report.dir/hotspot_report.cpp.o"
+  "CMakeFiles/hotspot_report.dir/hotspot_report.cpp.o.d"
+  "hotspot_report"
+  "hotspot_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotspot_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softwatt_core.dir/experiment.cc.o"
+  "CMakeFiles/softwatt_core.dir/experiment.cc.o.d"
+  "CMakeFiles/softwatt_core.dir/idle_profile.cc.o"
+  "CMakeFiles/softwatt_core.dir/idle_profile.cc.o.d"
+  "CMakeFiles/softwatt_core.dir/report.cc.o"
+  "CMakeFiles/softwatt_core.dir/report.cc.o.d"
+  "CMakeFiles/softwatt_core.dir/system.cc.o"
+  "CMakeFiles/softwatt_core.dir/system.cc.o.d"
+  "libsoftwatt_core.a"
+  "libsoftwatt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softwatt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

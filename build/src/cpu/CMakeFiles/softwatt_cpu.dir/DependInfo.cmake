@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpu/branch_predictor.cc" "src/cpu/CMakeFiles/softwatt_cpu.dir/branch_predictor.cc.o" "gcc" "src/cpu/CMakeFiles/softwatt_cpu.dir/branch_predictor.cc.o.d"
+  "/root/repo/src/cpu/cpu.cc" "src/cpu/CMakeFiles/softwatt_cpu.dir/cpu.cc.o" "gcc" "src/cpu/CMakeFiles/softwatt_cpu.dir/cpu.cc.o.d"
+  "/root/repo/src/cpu/inorder_cpu.cc" "src/cpu/CMakeFiles/softwatt_cpu.dir/inorder_cpu.cc.o" "gcc" "src/cpu/CMakeFiles/softwatt_cpu.dir/inorder_cpu.cc.o.d"
+  "/root/repo/src/cpu/stream_gen.cc" "src/cpu/CMakeFiles/softwatt_cpu.dir/stream_gen.cc.o" "gcc" "src/cpu/CMakeFiles/softwatt_cpu.dir/stream_gen.cc.o.d"
+  "/root/repo/src/cpu/superscalar_cpu.cc" "src/cpu/CMakeFiles/softwatt_cpu.dir/superscalar_cpu.cc.o" "gcc" "src/cpu/CMakeFiles/softwatt_cpu.dir/superscalar_cpu.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/softwatt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/softwatt_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

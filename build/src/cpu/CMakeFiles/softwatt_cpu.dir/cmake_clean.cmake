@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softwatt_cpu.dir/branch_predictor.cc.o"
+  "CMakeFiles/softwatt_cpu.dir/branch_predictor.cc.o.d"
+  "CMakeFiles/softwatt_cpu.dir/cpu.cc.o"
+  "CMakeFiles/softwatt_cpu.dir/cpu.cc.o.d"
+  "CMakeFiles/softwatt_cpu.dir/inorder_cpu.cc.o"
+  "CMakeFiles/softwatt_cpu.dir/inorder_cpu.cc.o.d"
+  "CMakeFiles/softwatt_cpu.dir/stream_gen.cc.o"
+  "CMakeFiles/softwatt_cpu.dir/stream_gen.cc.o.d"
+  "CMakeFiles/softwatt_cpu.dir/superscalar_cpu.cc.o"
+  "CMakeFiles/softwatt_cpu.dir/superscalar_cpu.cc.o.d"
+  "libsoftwatt_cpu.a"
+  "libsoftwatt_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softwatt_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

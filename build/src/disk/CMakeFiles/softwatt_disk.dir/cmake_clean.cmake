@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softwatt_disk.dir/disk.cc.o"
+  "CMakeFiles/softwatt_disk.dir/disk.cc.o.d"
+  "libsoftwatt_disk.a"
+  "libsoftwatt_disk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softwatt_disk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softwatt_mem.dir/cache.cc.o"
+  "CMakeFiles/softwatt_mem.dir/cache.cc.o.d"
+  "CMakeFiles/softwatt_mem.dir/hierarchy.cc.o"
+  "CMakeFiles/softwatt_mem.dir/hierarchy.cc.o.d"
+  "CMakeFiles/softwatt_mem.dir/page_table.cc.o"
+  "CMakeFiles/softwatt_mem.dir/page_table.cc.o.d"
+  "CMakeFiles/softwatt_mem.dir/tlb.cc.o"
+  "CMakeFiles/softwatt_mem.dir/tlb.cc.o.d"
+  "libsoftwatt_mem.a"
+  "libsoftwatt_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softwatt_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softwatt_os.dir/file_system.cc.o"
+  "CMakeFiles/softwatt_os.dir/file_system.cc.o.d"
+  "CMakeFiles/softwatt_os.dir/kernel.cc.o"
+  "CMakeFiles/softwatt_os.dir/kernel.cc.o.d"
+  "CMakeFiles/softwatt_os.dir/service.cc.o"
+  "CMakeFiles/softwatt_os.dir/service.cc.o.d"
+  "CMakeFiles/softwatt_os.dir/service_streams.cc.o"
+  "CMakeFiles/softwatt_os.dir/service_streams.cc.o.d"
+  "libsoftwatt_os.a"
+  "libsoftwatt_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softwatt_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/power/array_models.cc" "src/power/CMakeFiles/softwatt_power.dir/array_models.cc.o" "gcc" "src/power/CMakeFiles/softwatt_power.dir/array_models.cc.o.d"
+  "/root/repo/src/power/cache_model.cc" "src/power/CMakeFiles/softwatt_power.dir/cache_model.cc.o" "gcc" "src/power/CMakeFiles/softwatt_power.dir/cache_model.cc.o.d"
+  "/root/repo/src/power/components.cc" "src/power/CMakeFiles/softwatt_power.dir/components.cc.o" "gcc" "src/power/CMakeFiles/softwatt_power.dir/components.cc.o.d"
+  "/root/repo/src/power/cpu_power.cc" "src/power/CMakeFiles/softwatt_power.dir/cpu_power.cc.o" "gcc" "src/power/CMakeFiles/softwatt_power.dir/cpu_power.cc.o.d"
+  "/root/repo/src/power/power_calculator.cc" "src/power/CMakeFiles/softwatt_power.dir/power_calculator.cc.o" "gcc" "src/power/CMakeFiles/softwatt_power.dir/power_calculator.cc.o.d"
+  "/root/repo/src/power/technology.cc" "src/power/CMakeFiles/softwatt_power.dir/technology.cc.o" "gcc" "src/power/CMakeFiles/softwatt_power.dir/technology.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/softwatt_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softwatt_power.dir/array_models.cc.o"
+  "CMakeFiles/softwatt_power.dir/array_models.cc.o.d"
+  "CMakeFiles/softwatt_power.dir/cache_model.cc.o"
+  "CMakeFiles/softwatt_power.dir/cache_model.cc.o.d"
+  "CMakeFiles/softwatt_power.dir/components.cc.o"
+  "CMakeFiles/softwatt_power.dir/components.cc.o.d"
+  "CMakeFiles/softwatt_power.dir/cpu_power.cc.o"
+  "CMakeFiles/softwatt_power.dir/cpu_power.cc.o.d"
+  "CMakeFiles/softwatt_power.dir/power_calculator.cc.o"
+  "CMakeFiles/softwatt_power.dir/power_calculator.cc.o.d"
+  "CMakeFiles/softwatt_power.dir/technology.cc.o"
+  "CMakeFiles/softwatt_power.dir/technology.cc.o.d"
+  "libsoftwatt_power.a"
+  "libsoftwatt_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softwatt_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+src/power/CMakeFiles/softwatt_power.dir/technology.cc.o: \
+ /root/repo/src/power/technology.cc /usr/include/stdc-predef.h \
+ /root/repo/src/power/technology.hh

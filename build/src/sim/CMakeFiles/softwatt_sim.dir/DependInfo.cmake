@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/config.cc" "src/sim/CMakeFiles/softwatt_sim.dir/config.cc.o" "gcc" "src/sim/CMakeFiles/softwatt_sim.dir/config.cc.o.d"
+  "/root/repo/src/sim/counters.cc" "src/sim/CMakeFiles/softwatt_sim.dir/counters.cc.o" "gcc" "src/sim/CMakeFiles/softwatt_sim.dir/counters.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/sim/CMakeFiles/softwatt_sim.dir/event_queue.cc.o" "gcc" "src/sim/CMakeFiles/softwatt_sim.dir/event_queue.cc.o.d"
+  "/root/repo/src/sim/logging.cc" "src/sim/CMakeFiles/softwatt_sim.dir/logging.cc.o" "gcc" "src/sim/CMakeFiles/softwatt_sim.dir/logging.cc.o.d"
+  "/root/repo/src/sim/machine_params.cc" "src/sim/CMakeFiles/softwatt_sim.dir/machine_params.cc.o" "gcc" "src/sim/CMakeFiles/softwatt_sim.dir/machine_params.cc.o.d"
+  "/root/repo/src/sim/sample_log.cc" "src/sim/CMakeFiles/softwatt_sim.dir/sample_log.cc.o" "gcc" "src/sim/CMakeFiles/softwatt_sim.dir/sample_log.cc.o.d"
+  "/root/repo/src/sim/stats.cc" "src/sim/CMakeFiles/softwatt_sim.dir/stats.cc.o" "gcc" "src/sim/CMakeFiles/softwatt_sim.dir/stats.cc.o.d"
+  "/root/repo/src/sim/types.cc" "src/sim/CMakeFiles/softwatt_sim.dir/types.cc.o" "gcc" "src/sim/CMakeFiles/softwatt_sim.dir/types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

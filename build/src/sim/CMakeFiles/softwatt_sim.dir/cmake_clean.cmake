@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softwatt_sim.dir/config.cc.o"
+  "CMakeFiles/softwatt_sim.dir/config.cc.o.d"
+  "CMakeFiles/softwatt_sim.dir/counters.cc.o"
+  "CMakeFiles/softwatt_sim.dir/counters.cc.o.d"
+  "CMakeFiles/softwatt_sim.dir/event_queue.cc.o"
+  "CMakeFiles/softwatt_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/softwatt_sim.dir/logging.cc.o"
+  "CMakeFiles/softwatt_sim.dir/logging.cc.o.d"
+  "CMakeFiles/softwatt_sim.dir/machine_params.cc.o"
+  "CMakeFiles/softwatt_sim.dir/machine_params.cc.o.d"
+  "CMakeFiles/softwatt_sim.dir/sample_log.cc.o"
+  "CMakeFiles/softwatt_sim.dir/sample_log.cc.o.d"
+  "CMakeFiles/softwatt_sim.dir/stats.cc.o"
+  "CMakeFiles/softwatt_sim.dir/stats.cc.o.d"
+  "CMakeFiles/softwatt_sim.dir/types.cc.o"
+  "CMakeFiles/softwatt_sim.dir/types.cc.o.d"
+  "libsoftwatt_sim.a"
+  "libsoftwatt_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softwatt_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

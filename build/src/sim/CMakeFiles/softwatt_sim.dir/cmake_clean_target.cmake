@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsoftwatt_sim.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softwatt_workload.dir/workload.cc.o"
+  "CMakeFiles/softwatt_workload.dir/workload.cc.o.d"
+  "libsoftwatt_workload.a"
+  "libsoftwatt_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softwatt_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

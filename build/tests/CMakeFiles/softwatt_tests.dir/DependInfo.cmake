@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_array_models.cc" "tests/CMakeFiles/softwatt_tests.dir/test_array_models.cc.o" "gcc" "tests/CMakeFiles/softwatt_tests.dir/test_array_models.cc.o.d"
+  "/root/repo/tests/test_branch_predictor.cc" "tests/CMakeFiles/softwatt_tests.dir/test_branch_predictor.cc.o" "gcc" "tests/CMakeFiles/softwatt_tests.dir/test_branch_predictor.cc.o.d"
+  "/root/repo/tests/test_cache.cc" "tests/CMakeFiles/softwatt_tests.dir/test_cache.cc.o" "gcc" "tests/CMakeFiles/softwatt_tests.dir/test_cache.cc.o.d"
+  "/root/repo/tests/test_cache_model.cc" "tests/CMakeFiles/softwatt_tests.dir/test_cache_model.cc.o" "gcc" "tests/CMakeFiles/softwatt_tests.dir/test_cache_model.cc.o.d"
+  "/root/repo/tests/test_characterization.cc" "tests/CMakeFiles/softwatt_tests.dir/test_characterization.cc.o" "gcc" "tests/CMakeFiles/softwatt_tests.dir/test_characterization.cc.o.d"
+  "/root/repo/tests/test_config.cc" "tests/CMakeFiles/softwatt_tests.dir/test_config.cc.o" "gcc" "tests/CMakeFiles/softwatt_tests.dir/test_config.cc.o.d"
+  "/root/repo/tests/test_counters.cc" "tests/CMakeFiles/softwatt_tests.dir/test_counters.cc.o" "gcc" "tests/CMakeFiles/softwatt_tests.dir/test_counters.cc.o.d"
+  "/root/repo/tests/test_cpu_power.cc" "tests/CMakeFiles/softwatt_tests.dir/test_cpu_power.cc.o" "gcc" "tests/CMakeFiles/softwatt_tests.dir/test_cpu_power.cc.o.d"
+  "/root/repo/tests/test_disk.cc" "tests/CMakeFiles/softwatt_tests.dir/test_disk.cc.o" "gcc" "tests/CMakeFiles/softwatt_tests.dir/test_disk.cc.o.d"
+  "/root/repo/tests/test_disk_sweep.cc" "tests/CMakeFiles/softwatt_tests.dir/test_disk_sweep.cc.o" "gcc" "tests/CMakeFiles/softwatt_tests.dir/test_disk_sweep.cc.o.d"
+  "/root/repo/tests/test_event_queue.cc" "tests/CMakeFiles/softwatt_tests.dir/test_event_queue.cc.o" "gcc" "tests/CMakeFiles/softwatt_tests.dir/test_event_queue.cc.o.d"
+  "/root/repo/tests/test_extensions.cc" "tests/CMakeFiles/softwatt_tests.dir/test_extensions.cc.o" "gcc" "tests/CMakeFiles/softwatt_tests.dir/test_extensions.cc.o.d"
+  "/root/repo/tests/test_file_system.cc" "tests/CMakeFiles/softwatt_tests.dir/test_file_system.cc.o" "gcc" "tests/CMakeFiles/softwatt_tests.dir/test_file_system.cc.o.d"
+  "/root/repo/tests/test_hierarchy.cc" "tests/CMakeFiles/softwatt_tests.dir/test_hierarchy.cc.o" "gcc" "tests/CMakeFiles/softwatt_tests.dir/test_hierarchy.cc.o.d"
+  "/root/repo/tests/test_inorder_cpu.cc" "tests/CMakeFiles/softwatt_tests.dir/test_inorder_cpu.cc.o" "gcc" "tests/CMakeFiles/softwatt_tests.dir/test_inorder_cpu.cc.o.d"
+  "/root/repo/tests/test_integration_edge.cc" "tests/CMakeFiles/softwatt_tests.dir/test_integration_edge.cc.o" "gcc" "tests/CMakeFiles/softwatt_tests.dir/test_integration_edge.cc.o.d"
+  "/root/repo/tests/test_kernel.cc" "tests/CMakeFiles/softwatt_tests.dir/test_kernel.cc.o" "gcc" "tests/CMakeFiles/softwatt_tests.dir/test_kernel.cc.o.d"
+  "/root/repo/tests/test_power_calculator.cc" "tests/CMakeFiles/softwatt_tests.dir/test_power_calculator.cc.o" "gcc" "tests/CMakeFiles/softwatt_tests.dir/test_power_calculator.cc.o.d"
+  "/root/repo/tests/test_random.cc" "tests/CMakeFiles/softwatt_tests.dir/test_random.cc.o" "gcc" "tests/CMakeFiles/softwatt_tests.dir/test_random.cc.o.d"
+  "/root/repo/tests/test_report.cc" "tests/CMakeFiles/softwatt_tests.dir/test_report.cc.o" "gcc" "tests/CMakeFiles/softwatt_tests.dir/test_report.cc.o.d"
+  "/root/repo/tests/test_sample_log.cc" "tests/CMakeFiles/softwatt_tests.dir/test_sample_log.cc.o" "gcc" "tests/CMakeFiles/softwatt_tests.dir/test_sample_log.cc.o.d"
+  "/root/repo/tests/test_service_streams.cc" "tests/CMakeFiles/softwatt_tests.dir/test_service_streams.cc.o" "gcc" "tests/CMakeFiles/softwatt_tests.dir/test_service_streams.cc.o.d"
+  "/root/repo/tests/test_stats.cc" "tests/CMakeFiles/softwatt_tests.dir/test_stats.cc.o" "gcc" "tests/CMakeFiles/softwatt_tests.dir/test_stats.cc.o.d"
+  "/root/repo/tests/test_stream_gen.cc" "tests/CMakeFiles/softwatt_tests.dir/test_stream_gen.cc.o" "gcc" "tests/CMakeFiles/softwatt_tests.dir/test_stream_gen.cc.o.d"
+  "/root/repo/tests/test_superscalar_cpu.cc" "tests/CMakeFiles/softwatt_tests.dir/test_superscalar_cpu.cc.o" "gcc" "tests/CMakeFiles/softwatt_tests.dir/test_superscalar_cpu.cc.o.d"
+  "/root/repo/tests/test_system.cc" "tests/CMakeFiles/softwatt_tests.dir/test_system.cc.o" "gcc" "tests/CMakeFiles/softwatt_tests.dir/test_system.cc.o.d"
+  "/root/repo/tests/test_system_sweep.cc" "tests/CMakeFiles/softwatt_tests.dir/test_system_sweep.cc.o" "gcc" "tests/CMakeFiles/softwatt_tests.dir/test_system_sweep.cc.o.d"
+  "/root/repo/tests/test_tlb.cc" "tests/CMakeFiles/softwatt_tests.dir/test_tlb.cc.o" "gcc" "tests/CMakeFiles/softwatt_tests.dir/test_tlb.cc.o.d"
+  "/root/repo/tests/test_workload.cc" "tests/CMakeFiles/softwatt_tests.dir/test_workload.cc.o" "gcc" "tests/CMakeFiles/softwatt_tests.dir/test_workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/softwatt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/softwatt_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/softwatt_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/softwatt_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/softwatt_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/softwatt_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/softwatt_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/softwatt_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
