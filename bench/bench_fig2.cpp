@@ -49,7 +49,7 @@ main(int argc, char **argv)
     Disk disk(queue, freqHz, DiskConfig::spindown(2.0), timeScale);
     std::cout << "State machine walk:\n";
     std::cout << "  t=0.0s  " << diskStateName(disk.state()) << "\n";
-    disk.submit(4000, 2, [] {});
+    disk.submit(4000, 2, [](DiskIoStatus) {});
     std::cout << "  submit: " << diskStateName(disk.state()) << "\n";
     queue.runUntil(equivSeconds(1.0));
     std::cout << "  t=1.0s  " << diskStateName(disk.state())
@@ -59,7 +59,7 @@ main(int argc, char **argv)
               << " (2 s threshold expired)\n";
     queue.runUntil(equivSeconds(8.5));
     std::cout << "  t=8.5s  " << diskStateName(disk.state()) << "\n";
-    disk.submit(9000, 1, [] {});
+    disk.submit(9000, 1, [](DiskIoStatus) {});
     std::cout << "  submit: " << diskStateName(disk.state())
               << " (5 s spin-up penalty)\n";
     queue.runUntil(equivSeconds(15.0));

@@ -17,15 +17,16 @@ int
 main(int argc, char **argv)
 {
     Config args = parseArgs(argc, argv);
-    SystemConfig config = SystemConfig::fromConfig(args);
-    config.cpuModel = CpuModel::InOrder;
-    config.sampleWindow =
+    Cycles sample_window =
         Cycles(args.getInt("sample_window", 250'000));
     double scale = args.getDouble("scale", 1.0);
-
     // The paper's figure shows jess; the technical report has the
     // other benchmarks — select with bench=<name>.
     std::string bench_name = args.getString("bench", "jess");
+    SystemConfig config = SystemConfig::fromConfig(args);
+    config.cpuModel = CpuModel::InOrder;
+    config.sampleWindow = sample_window;
+
     Benchmark bench = Benchmark::Jess;
     for (Benchmark b : allBenchmarks) {
         if (bench_name == benchmarkName(b))

@@ -17,9 +17,9 @@ int
 main(int argc, char **argv)
 {
     Config args = parseArgs(argc, argv);
+    double scale = args.getDouble("scale", 0.5);
     SystemConfig config = SystemConfig::fromConfig(args);
     config.diskConfig = DiskConfig::idleOnly();
-    double scale = args.getDouble("scale", 0.5);
 
     std::cout << "=== Figure 7: Power Budget, IDLE-capable Disk ===\n"
                  "(six-benchmark average, scale " << scale

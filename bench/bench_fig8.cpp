@@ -17,8 +17,8 @@ int
 main(int argc, char **argv)
 {
     Config args = parseArgs(argc, argv);
-    SystemConfig config = SystemConfig::fromConfig(args);
     double scale = args.getDouble("scale", 0.5);
+    SystemConfig config = SystemConfig::fromConfig(args);
 
     std::cout << "=== Figure 8: Average Power of OS Services ===\n"
                  "(pooled over six benchmarks, scale " << scale

@@ -131,7 +131,7 @@ BM_DiskRequest(benchmark::State &state)
     Random rng(1);
     for (auto _ : state) {
         bool done = false;
-        disk.submit(rng.below(1 << 20), 4, [&] { done = true; });
+        disk.submit(rng.below(1 << 20), 4, [&](DiskIoStatus) { done = true; });
         while (!done)
             queue.advanceTo(queue.nextEventTick());
     }

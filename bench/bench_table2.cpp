@@ -32,9 +32,9 @@ int
 main(int argc, char **argv)
 {
     Config args = parseArgs(argc, argv);
-    SystemConfig config = SystemConfig::fromConfig(args);
     double scale = args.getDouble("scale", 0.5);
     bool with_inorder = args.getBool("inorder_compare", true);
+    SystemConfig config = SystemConfig::fromConfig(args);
 
     std::cout << "=== Table 2: Cycle/Energy Breakdown per Mode ===\n"
                  "(scale " << scale << ")\n\n";

@@ -18,8 +18,8 @@ int
 main(int argc, char **argv)
 {
     Config args = parseArgs(argc, argv);
-    SystemConfig config = SystemConfig::fromConfig(args);
     double scale = args.getDouble("scale", 0.5);
+    SystemConfig config = SystemConfig::fromConfig(args);
 
     std::cout << "=== Table 4: Kernel Computation by Service ===\n"
                  "(scale " << scale

@@ -22,8 +22,8 @@ int
 main(int argc, char **argv)
 {
     Config args = parseArgs(argc, argv);
-    SystemConfig config = SystemConfig::fromConfig(args);
     double scale = args.getDouble("scale", 0.5);
+    SystemConfig config = SystemConfig::fromConfig(args);
 
     std::cout << "=== Trace-based Kernel Energy Estimation "
                  "(Section 3.3) ===\n(scale " << scale << ")\n\n";

@@ -23,9 +23,9 @@ int
 main(int argc, char **argv)
 {
     Config args = parseArgs(argc, argv);
-    SystemConfig config = SystemConfig::fromConfig(args);
     std::string bench_name = args.getString("bench", "javac");
     double scale = args.getDouble("scale", 0.5);
+    SystemConfig config = SystemConfig::fromConfig(args);
 
     Benchmark bench = Benchmark::Javac;
     for (Benchmark b : allBenchmarks) {

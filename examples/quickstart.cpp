@@ -20,16 +20,19 @@ int
 main(int argc, char **argv)
 {
     Config args = parseArgs(argc, argv);
+    // Read the harness's own keys before fromConfig so its
+    // unused-key check doesn't flag them.
+    std::string bench_name = args.getString("bench", "jess");
+    double scale = args.getDouble("scale", 0.2);
+    std::string csv_path = args.getString("log_csv", "");
     SystemConfig config = SystemConfig::fromConfig(args);
 
-    std::string bench_name = args.getString("bench", "jess");
     Benchmark bench = Benchmark::Jess;
     for (Benchmark b : allBenchmarks) {
         if (bench_name == benchmarkName(b))
             bench = b;
     }
 
-    double scale = args.getDouble("scale", 0.2);
     std::cout << "Running " << bench_name << " (scale " << scale
               << ") on the "
               << (config.cpuModel == CpuModel::Superscalar
@@ -90,7 +93,6 @@ main(int argc, char **argv)
 
     // Optional: dump the sampled counter log for external power
     // passes (the SimOS log-file workflow).
-    std::string csv_path = args.getString("log_csv", "");
     if (!csv_path.empty()) {
         std::ofstream csv(csv_path);
         if (!csv)

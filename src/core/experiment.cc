@@ -16,7 +16,11 @@ runBenchmark(Benchmark bench, const SystemConfig &config, double scale)
     if (scale != 1.0)
         spec = scaleWorkload(spec, scale);
     run.system->attachWorkload(std::make_unique<Workload>(spec));
-    run.system->run();
+    run.result = run.system->run();
+    if (!run.result.ok())
+        warn(msg() << run.name << ": run ended early ("
+                   << runOutcomeName(run.result.outcome) << "): "
+                   << run.result.diagnostics);
 
     run.breakdown = run.system->breakdown(false);
     run.conventional = run.system->breakdown(true);

@@ -22,6 +22,9 @@ struct BenchmarkRun
     std::string name;
     std::unique_ptr<System> system;
 
+    /** How the run ended; breakdowns are partial when not ok(). */
+    RunResult result;
+
     /** Totals priced with the run's own disk configuration. */
     PowerBreakdown breakdown;
 

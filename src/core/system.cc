@@ -21,7 +21,9 @@ SystemConfig::fromConfig(const Config &config)
     } else if (cpu == "inorder" || cpu == "mipsy") {
         sc.cpuModel = CpuModel::InOrder;
     } else {
-        fatal(msg() << "unknown cpu.model '" << cpu << "'");
+        fatal(msg() << "unknown cpu.model '" << cpu
+                    << "' (expected superscalar/mxs or "
+                    << "inorder/mipsy)");
     }
 
     std::string disk = config.getString("disk.config", "idle");
@@ -33,13 +35,40 @@ SystemConfig::fromConfig(const Config &config)
         sc.diskConfig = DiskConfig::spindown(
             config.getDouble("disk.threshold_s", 2.0));
     } else {
-        fatal(msg() << "unknown disk.config '" << disk << "'");
+        fatal(msg() << "unknown disk.config '" << disk
+                    << "' (expected conventional, idle or "
+                    << "spindown)");
     }
+
+    DiskFaultConfig &fault = sc.diskConfig.fault;
+    fault.enabled = config.getBool("disk.fault.enabled", false);
+    fault.transientErrorRate = config.getDouble(
+        "disk.fault.transient_rate", fault.transientErrorRate);
+    fault.seekErrorRate = config.getDouble("disk.fault.seek_rate",
+                                           fault.seekErrorRate);
+    fault.spinupFailureRate = config.getDouble(
+        "disk.fault.spinup_rate", fault.spinupFailureRate);
+    fault.windowStartSeconds = config.getDouble(
+        "disk.fault.window_start_s", fault.windowStartSeconds);
+    fault.windowEndSeconds = config.getDouble(
+        "disk.fault.window_end_s", fault.windowEndSeconds);
+    fault.seed = std::uint64_t(
+        config.getInt("disk.fault.seed", std::int64_t(fault.seed)));
+
+    Kernel::DiskRetryPolicy &retry = sc.kernelParams.diskRetry;
+    retry.maxAttempts = int(config.getInt("disk.retry.max_attempts",
+                                          retry.maxAttempts));
+    retry.backoffSeconds = config.getDouble("disk.retry.backoff_s",
+                                            retry.backoffSeconds);
+    retry.backoffMultiplier = config.getDouble(
+        "disk.retry.multiplier", retry.backoffMultiplier);
 
     sc.timeScale = config.getDouble("time_scale", sc.timeScale);
     sc.kernelParams.timeScale = sc.timeScale;
     sc.sampleWindow =
         Cycles(config.getInt("sample_window", sc.sampleWindow));
+    sc.maxCycles = Cycles(
+        config.getInt("max_cycles", std::int64_t(sc.maxCycles)));
     sc.useCalibratedPower =
         config.getBool("power.calibrated", sc.useCalibratedPower);
     sc.clockInterrupts =
@@ -48,11 +77,63 @@ SystemConfig::fromConfig(const Config &config)
         std::uint64_t(config.getInt("seed", sc.kernelParams.seed));
     sc.kernelParams.haltOnIdle =
         config.getBool("halt_on_idle", sc.kernelParams.haltOnIdle);
+
+    sc.validate();
+
+    // A set-but-never-read key is almost always a typo (the store
+    // is schema-less, so a misspelt override silently changes
+    // nothing). Keys the caller reads before or after this call are
+    // marked used and not reported.
+    for (const std::string &key : config.unusedKeys()) {
+        warn(msg() << "config key '" << key
+                   << "' was never read by any consumer; "
+                   << "possible typo?");
+    }
     return sc;
+}
+
+void
+SystemConfig::validate() const
+{
+    if (timeScale <= 0) {
+        fatal(msg() << "config: time_scale must be > 0 (got "
+                    << timeScale
+                    << "); use 1 for real time or 100 for the "
+                    << "paper's compression");
+    }
+    if (sampleWindow == 0) {
+        fatal(msg() << "config: sample_window must be >= 1 cycle "
+                    << "(got 0); the sample log needs nonempty "
+                    << "windows");
+    }
+    if (maxCycles == 0) {
+        fatal(msg() << "config: max_cycles must be >= 1 (got 0); "
+                    << "the watchdog would expire immediately");
+    }
+    if (diskConfig.kind == DiskConfigKind::Spindown &&
+        diskConfig.spindownThresholdSeconds <= 0) {
+        fatal(msg() << "config: disk.threshold_s must be > 0 for "
+                    << "the spindown policy (got "
+                    << diskConfig.spindownThresholdSeconds << ")");
+    }
+    diskConfig.fault.validate("config");
+    kernelParams.diskRetry.validate("config");
+}
+
+const char *
+runOutcomeName(RunOutcome outcome)
+{
+    switch (outcome) {
+      case RunOutcome::Completed: return "completed";
+      case RunOutcome::WatchdogExpired: return "watchdog-expired";
+      case RunOutcome::IoFailed: return "io-failed";
+    }
+    panic("runOutcomeName: invalid outcome");
 }
 
 System::System(const SystemConfig &config) : cfg(config)
 {
+    cfg.validate();
     cfg.kernelParams.timeScale = cfg.timeScale;
 
     machineHierarchy =
@@ -161,7 +242,7 @@ System::fastForwardToNextEvent()
     queue.advanceTo(next);  // runs the unblocking event(s)
 }
 
-void
+RunResult
 System::run()
 {
     if (!workload)
@@ -171,10 +252,22 @@ System::run()
 
     windowStart = queue.now();
     Cycles idle_streak = 0;
+    RunResult result;
 
     while (true) {
-        if (queue.now() >= cfg.maxCycles)
-            fatal("watchdog: simulation exceeded maxCycles");
+        if (machineKernel->ioFailed()) {
+            result.outcome = RunOutcome::IoFailed;
+            result.diagnostics =
+                machineKernel->ioFailure().describe();
+            break;
+        }
+        if (queue.now() >= cfg.maxCycles) {
+            result.outcome = RunOutcome::WatchdogExpired;
+            result.diagnostics =
+                msg() << "watchdog: simulation exceeded "
+                      << cfg.maxCycles << " cycles";
+            break;
+        }
 
         bool alive = machineCpu->cycle();
         ++detailCycles;
@@ -196,6 +289,8 @@ System::run()
         }
     }
     closeWindow(queue.now());
+    result.cycles = queue.now();
+    return result;
 }
 
 void
@@ -238,6 +333,26 @@ System::dumpStats(std::ostream &out) const
          "disk requests served");
     line("disk.spinups", double(machineDisk->spinUps()),
          "disk spin-ups");
+    if (machineDisk->config().fault.active() ||
+        machineKernel->diskFaults() > 0) {
+        const DiskFaultModel &faults = machineDisk->faults();
+        line("disk.faults.transient",
+             double(faults.transientErrors()),
+             "injected transient transfer errors");
+        line("disk.faults.seek", double(faults.seekErrors()),
+             "injected seek (servo) errors");
+        line("disk.faults.spinup", double(faults.spinupFailures()),
+             "injected spin-up failures");
+        line("disk.requests_failed",
+             double(machineDisk->requestsFailed()),
+             "requests completed with an error status");
+        line("kernel.disk_retries",
+             double(machineKernel->diskRetries()),
+             "disk driver retries");
+        line("kernel.disk_giveups",
+             double(machineKernel->diskGiveUps()),
+             "disk requests abandoned after max attempts");
+    }
     line("kernel.clock_interrupts",
          double(machineKernel->clockInterrupts()),
          "timer interrupts taken");

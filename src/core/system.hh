@@ -64,8 +64,50 @@ struct SystemConfig
     /** Enable the periodic timer interrupt. */
     bool clockInterrupts = true;
 
-    /** Build from a generic key=value Config. */
+    /**
+     * Build from a generic key=value Config. Validates ranges and
+     * warns about keys nobody read (likely typos) — harnesses should
+     * read their own keys (bench, scale, ...) *before* calling this
+     * so they are not flagged.
+     */
     static SystemConfig fromConfig(const Config &config);
+
+    /**
+     * Fatal on out-of-range values (non-positive timeScale, zero
+     * sampleWindow, bad fault rates, ...). fromConfig calls this;
+     * call it directly on hand-built configurations.
+     */
+    void validate() const;
+};
+
+/** How a simulation ended. */
+enum class RunOutcome
+{
+    Completed,        ///< The workload ran to completion.
+    WatchdogExpired,  ///< maxCycles elapsed first.
+    IoFailed,         ///< The disk driver abandoned a request.
+};
+
+/** Display name of a run outcome. */
+const char *runOutcomeName(RunOutcome outcome);
+
+/**
+ * Structured result of System::run. Anomalies no longer kill the
+ * process: the caller decides whether a watchdog expiry or an
+ * abandoned I/O request is fatal, and the partial statistics
+ * accumulated up to the failure stay inspectable.
+ */
+struct RunResult
+{
+    RunOutcome outcome = RunOutcome::Completed;
+
+    /** Simulated cycles at the end of the run. */
+    Tick cycles = 0;
+
+    /** Human-readable detail for non-completed outcomes. */
+    std::string diagnostics;
+
+    bool ok() const { return outcome == RunOutcome::Completed; }
 };
 
 /**
@@ -85,8 +127,12 @@ class System
      */
     void attachWorkload(std::unique_ptr<Workload> workload);
 
-    /** Run to workload completion (fatal on watchdog expiry). */
-    void run();
+    /**
+     * Run until the workload completes, the watchdog expires, or an
+     * I/O request is abandoned; the outcome is returned rather than
+     * terminating the process.
+     */
+    RunResult run();
 
     /** Current simulated time in cycles. */
     Tick now() const { return queue.now(); }

@@ -42,19 +42,28 @@ DiskTimingSpec::mk3003man()
 DiskConfig
 DiskConfig::conventional()
 {
-    return DiskConfig{DiskConfigKind::Conventional, 0};
+    DiskConfig c;
+    c.kind = DiskConfigKind::Conventional;
+    c.spindownThresholdSeconds = 0;
+    return c;
 }
 
 DiskConfig
 DiskConfig::idleOnly()
 {
-    return DiskConfig{DiskConfigKind::IdleOnly, 0};
+    DiskConfig c;
+    c.kind = DiskConfigKind::IdleOnly;
+    c.spindownThresholdSeconds = 0;
+    return c;
 }
 
 DiskConfig
 DiskConfig::spindown(double threshold_seconds)
 {
-    return DiskConfig{DiskConfigKind::Spindown, threshold_seconds};
+    DiskConfig c;
+    c.kind = DiskConfigKind::Spindown;
+    c.spindownThresholdSeconds = threshold_seconds;
+    return c;
 }
 
 const char *
@@ -76,7 +85,7 @@ DiskConfig::name() const
 Disk::Disk(EventQueue &queue, double freq_hz, const DiskConfig &config,
            double time_scale, std::uint64_t seed)
     : queue(queue), freqHz(freq_hz), cfg(config), timeScale(time_scale),
-      rng(seed),
+      rng(seed), faultModel(config.fault),
       currentState(config.kind == DiskConfigKind::Conventional
                        ? DiskState::Active
                        : DiskState::Idle),
@@ -84,6 +93,7 @@ Disk::Disk(EventQueue &queue, double freq_hz, const DiskConfig &config,
 {
     if (time_scale <= 0)
         fatal("disk time_scale must be positive");
+    config.fault.validate("disk fault config");
 }
 
 double
@@ -110,6 +120,28 @@ Disk::ticksFor(double seconds) const
 {
     double ticks = seconds / timeScale * freqHz;
     return ticks < 1 ? 1 : Tick(ticks);
+}
+
+double
+Disk::equivNowSeconds() const
+{
+    return double(queue.now()) / freqHz * timeScale;
+}
+
+void
+Disk::failHead(DiskIoStatus status)
+{
+    Request req = std::move(pending.front());
+    pending.pop_front();
+    ++numFailed;
+    busy = false;
+    if (!pending.empty()) {
+        startNext();
+    } else {
+        armSpindown();
+    }
+    if (req.done)
+        req.done(status);
 }
 
 void
@@ -237,6 +269,14 @@ Disk::startNext()
         ++numSpinUps;
         transitionTo(DiskState::SpinningUp);
         queue.scheduleIn(ticksFor(power.spinupSeconds), [this] {
+            // The full spin-up time and energy are spent even when
+            // the attempt fails: the drive only knows at the end
+            // that the platters did not reach speed.
+            if (faultModel.injectSpinupFailure(equivNowSeconds())) {
+                transitionTo(DiskState::Standby);
+                failHead(DiskIoStatus::SpinupFailure);
+                return;
+            }
             transitionTo(DiskState::Idle);
             beginService();
         });
@@ -272,8 +312,23 @@ Disk::beginService()
     transitionTo(DiskState::Seeking);
     queue.scheduleIn(ticksFor((seek_ms + rot_ms) * 1e-3), [this,
                                                            transfer_ms] {
+        // A servo error is detected once the seek settles: the full
+        // seek time was spent at SEEK power but the head is off
+        // track, so the transfer never starts.
+        if (faultModel.injectSeekError(equivNowSeconds())) {
+            transitionTo(DiskState::Idle);
+            failHead(DiskIoStatus::SeekError);
+            return;
+        }
         transitionTo(DiskState::Active);
         queue.scheduleIn(ticksFor(transfer_ms * 1e-3), [this] {
+            // A transient media error surfaces after the transfer
+            // window: time and energy were spent, no data moved.
+            if (faultModel.injectTransientError(equivNowSeconds())) {
+                transitionTo(DiskState::Idle);
+                failHead(DiskIoStatus::TransientError);
+                return;
+            }
             Request req = std::move(pending.front());
             pending.pop_front();
             lastBlock = req.block + req.numBlocks;
@@ -287,7 +342,7 @@ Disk::beginService()
                 armSpindown();
             }
             if (req.done)
-                req.done();
+                req.done(DiskIoStatus::Ok);
         });
     });
 }

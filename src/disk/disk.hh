@@ -16,6 +16,8 @@
 #include "sim/random.hh"
 #include "sim/types.hh"
 
+#include "fault_model.hh"
+
 namespace softwatt
 {
 
@@ -96,6 +98,9 @@ struct DiskConfig
     /** Spin-down threshold in (paper-equivalent) seconds. */
     double spindownThresholdSeconds = 2.0;
 
+    /** Fault injection; disabled by default (the happy path). */
+    DiskFaultConfig fault;
+
     static DiskConfig conventional();
     static DiskConfig idleOnly();
     static DiskConfig spindown(double threshold_seconds);
@@ -118,7 +123,13 @@ struct DiskConfig
 class Disk
 {
   public:
-    using Callback = std::function<void()>;
+    /**
+     * Completion callback: Ok means the data transferred; any other
+     * status means the request was consumed without transferring and
+     * the caller must decide whether to resubmit (the kernel's disk
+     * driver retries with backoff — see Kernel::requestDiskBlocks).
+     */
+    using Callback = std::function<void(DiskIoStatus)>;
 
     /**
      * @param queue Event queue (ticks are CPU cycles).
@@ -157,6 +168,12 @@ class Disk
     std::uint64_t spinDowns() const { return numSpinDowns; }
     std::uint64_t seeks() const { return numSeeks; }
 
+    /** Requests completed with a failure status. */
+    std::uint64_t requestsFailed() const { return numFailed; }
+
+    /** Injection bookkeeping (all zero with faults disabled). */
+    const DiskFaultModel &faults() const { return faultModel; }
+
     const DiskConfig &config() const { return cfg; }
 
   private:
@@ -174,6 +191,7 @@ class Disk
     DiskPowerSpec power;
     DiskTimingSpec timing;
     Random rng;
+    DiskFaultModel faultModel;
 
     DiskState currentState;
     Tick lastTransition = 0;
@@ -190,12 +208,19 @@ class Disk
     std::uint64_t numSpinUps = 0;
     std::uint64_t numSpinDowns = 0;
     std::uint64_t numSeeks = 0;
+    std::uint64_t numFailed = 0;
 
     /** Power drawn in a state, watts. */
     double statePowerW(DiskState s) const;
 
     /** Seconds (sim-compressed) → event-queue ticks. */
     Tick ticksFor(double seconds) const;
+
+    /** Current time in paper-equivalent seconds (fault windows). */
+    double equivNowSeconds() const;
+
+    /** Pop the head request and fail it with @p status. */
+    void failHead(DiskIoStatus status);
 
     /** Accumulate energy since lastTransition, then switch states. */
     void transitionTo(DiskState next);

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Deterministic disk fault injection.
+ *
+ * The reproduction's disk only ever succeeded, so every run exercised
+ * the happy path alone. Real drives retry transient media errors,
+ * re-seek after servo errors, and occasionally fail to reach speed on
+ * spin-up; the energy of that recovery (extra SEEK/ACTIVE residency,
+ * repeated spin-up attempts, kernel handler cycles) is exactly the
+ * kind of OS-visible cost SoftWatt exists to attribute. The fault
+ * model is a seeded, replayable decision stream: given the same
+ * configuration and seed, a run injects the same faults at the same
+ * requests, so fault experiments are as reproducible as fault-free
+ * ones.
+ */
+
+#ifndef SOFTWATT_DISK_FAULT_MODEL_HH
+#define SOFTWATT_DISK_FAULT_MODEL_HH
+
+#include <cstdint>
+#include <limits>
+
+#include "sim/random.hh"
+
+namespace softwatt
+{
+
+/** Completion status of one disk request. */
+enum class DiskIoStatus : std::uint8_t
+{
+    Ok = 0,
+    TransientError,  ///< Media/transfer error after the data phase.
+    SeekError,       ///< Servo error: the seek did not land.
+    SpinupFailure,   ///< The platters failed to reach speed.
+};
+
+/** Display name of a request status. */
+const char *diskIoStatusName(DiskIoStatus status);
+
+/**
+ * Fault-injection configuration. Rates are per-opportunity
+ * probabilities in [0, 1]: one transient draw per transfer, one seek
+ * draw per seek, one spin-up draw per spin-up attempt. Faults are
+ * only injected inside the [windowStartSeconds, windowEndSeconds)
+ * paper-equivalent window, so a fault burst can be placed in the
+ * middle of an otherwise healthy run.
+ */
+struct DiskFaultConfig
+{
+    bool enabled = false;
+    double transientErrorRate = 0.0;
+    double seekErrorRate = 0.0;
+    double spinupFailureRate = 0.0;
+    double windowStartSeconds = 0.0;
+    double windowEndSeconds =
+        std::numeric_limits<double>::infinity();
+    std::uint64_t seed = 0xfa17ed;
+
+    /** True if any fault can ever fire. */
+    bool
+    active() const
+    {
+        return enabled && (transientErrorRate > 0 ||
+                           seekErrorRate > 0 ||
+                           spinupFailureRate > 0);
+    }
+
+    /**
+     * Fatal on out-of-range values (rates outside [0,1], inverted
+     * window). @p context names the config source in the message.
+     */
+    void validate(const char *context) const;
+};
+
+/**
+ * The seeded decision stream plus injection bookkeeping.
+ *
+ * Each query advances a private RNG only when its fault class is
+ * live, so disabling one fault class does not shift the decisions of
+ * another run's classes relative to an enabled-but-zero-rate run.
+ */
+class DiskFaultModel
+{
+  public:
+    explicit DiskFaultModel(const DiskFaultConfig &config);
+
+    /** Should this transfer fail with a transient error? */
+    bool injectTransientError(double now_equiv_seconds);
+
+    /** Should this seek fail with a servo error? */
+    bool injectSeekError(double now_equiv_seconds);
+
+    /** Should this spin-up attempt fail? */
+    bool injectSpinupFailure(double now_equiv_seconds);
+
+    const DiskFaultConfig &config() const { return cfg; }
+
+    std::uint64_t transientErrors() const { return numTransient; }
+    std::uint64_t seekErrors() const { return numSeek; }
+    std::uint64_t spinupFailures() const { return numSpinup; }
+    std::uint64_t totalInjected() const
+    {
+        return numTransient + numSeek + numSpinup;
+    }
+
+  private:
+    DiskFaultConfig cfg;
+    Random rng;
+    std::uint64_t numTransient = 0;
+    std::uint64_t numSeek = 0;
+    std::uint64_t numSpinup = 0;
+
+    bool draw(double rate, double now_equiv_seconds,
+              std::uint64_t &counter);
+};
+
+} // namespace softwatt
+
+#endif // SOFTWATT_DISK_FAULT_MODEL_HH

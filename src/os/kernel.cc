@@ -1,6 +1,7 @@
 #include "kernel.hh"
 
 #include <algorithm>
+#include <cmath>
 
 #include "sim/logging.hh"
 
@@ -8,6 +9,36 @@
 
 namespace softwatt
 {
+
+void
+Kernel::DiskRetryPolicy::validate(const char *context) const
+{
+    if (maxAttempts < 1) {
+        fatal(msg() << context << ": disk retry max attempts must be "
+                    << ">= 1 (got " << maxAttempts
+                    << "); 1 means no retries at all");
+    }
+    if (backoffSeconds <= 0) {
+        fatal(msg() << context << ": disk retry backoff must be > 0 "
+                    << "seconds (got " << backoffSeconds << ")");
+    }
+    if (backoffMultiplier < 1.0) {
+        fatal(msg() << context << ": disk retry backoff multiplier "
+                    << "must be >= 1 (got " << backoffMultiplier
+                    << "); use 1 for constant backoff");
+    }
+}
+
+std::string
+Kernel::IoFailure::describe() const
+{
+    if (!failed)
+        return "no I/O failure";
+    return msg() << "disk request for block " << block << " ("
+                 << numBlocks << " blocks) abandoned after "
+                 << attempts << " attempts; last error: "
+                 << diskIoStatusName(lastStatus);
+}
 
 Kernel::Kernel(EventQueue &queue, Tlb &tlb, CacheHierarchy &hierarchy,
                Disk &disk, const MachineParams &machine,
@@ -18,6 +49,7 @@ Kernel::Kernel(EventQueue &queue, Tlb &tlb, CacheHierarchy &hierarchy,
       pages(machine.pageBytes), rng(params.seed),
       idleStream(idleLoopSpec(), params.seed ^ 0x1d1e)
 {
+    cfg.diskRetry.validate("kernel params");
 }
 
 void
@@ -383,12 +415,80 @@ Kernel::currentStreamMode() const
     return ExecMode::Idle;
 }
 
+Tick
+Kernel::ticksForEquivSeconds(double seconds) const
+{
+    double ticks =
+        seconds / cfg.timeScale * machine.freqMhz * 1e6;
+    return ticks < 1 ? 1 : Tick(ticks);
+}
+
+void
+Kernel::submitDiskAttempt(std::uint64_t block,
+                          std::uint32_t num_blocks,
+                          std::function<void()> done, int attempt)
+{
+    disk.submit(
+        block, num_blocks,
+        [this, block, num_blocks, done = std::move(done),
+         attempt](DiskIoStatus status) mutable {
+            if (status == DiskIoStatus::Ok) {
+                if (done)
+                    done();
+                return;
+            }
+            ++numDiskFaults;
+            sink.global().addTo(ExecMode::KernelInst,
+                                CounterId::DiskFault, 1);
+            if (attempt >= cfg.diskRetry.maxAttempts) {
+                ++numDiskGiveUps;
+                sink.global().addTo(ExecMode::KernelInst,
+                                    CounterId::DiskGiveUp, 1);
+                if (!ioFailureInfo.failed) {
+                    ioFailureInfo.failed = true;
+                    ioFailureInfo.block = block;
+                    ioFailureInfo.numBlocks = num_blocks;
+                    ioFailureInfo.attempts = attempt;
+                    ioFailureInfo.lastStatus = status;
+                }
+                warn(msg() << "disk driver: "
+                           << IoFailure{true, block, num_blocks,
+                                        attempt, status}
+                                  .describe());
+                // The blocked service never resumes; the run loop
+                // observes ioFailed() and ends with a structured
+                // io-failed result.
+                return;
+            }
+            ++numDiskRetries;
+            sink.global().addTo(ExecMode::KernelInst,
+                                CounterId::DiskRetry, 1);
+            // The recovery handler runs now (sense + error path);
+            // the resubmission waits out the exponential backoff.
+            pushService(ServiceKind::ErrorRecovery,
+                        makeFixedService(ServiceKind::ErrorRecovery,
+                                         cfg.tuning, serviceSeed++),
+                        {});
+            double delay =
+                cfg.diskRetry.backoffSeconds *
+                std::pow(cfg.diskRetry.backoffMultiplier,
+                         attempt - 1);
+            queue.scheduleIn(
+                ticksForEquivSeconds(delay),
+                [this, block, num_blocks, done = std::move(done),
+                 attempt]() mutable {
+                    submitDiskAttempt(block, num_blocks,
+                                      std::move(done), attempt + 1);
+                });
+        });
+}
+
 void
 Kernel::requestDiskBlocks(std::uint64_t block,
                           std::uint32_t num_blocks,
                           std::function<void()> done)
 {
-    disk.submit(block, num_blocks, std::move(done));
+    submitDiskAttempt(block, num_blocks, std::move(done), 1);
 }
 
 bool

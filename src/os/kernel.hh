@@ -43,6 +43,42 @@ namespace softwatt
 class Kernel : public KernelIface, public IoContext
 {
   public:
+    /**
+     * Bounded-retry policy of the disk driver. A failed request is
+     * retried after an exponentially growing backoff; each retry
+     * runs the ErrorRecovery kernel service (instructions executed
+     * and energy-attributed like any other service). When the
+     * attempt budget is exhausted the driver gives up and records a
+     * structured I/O failure instead of aborting the process.
+     */
+    struct DiskRetryPolicy
+    {
+        /** Total attempts per request, including the first. */
+        int maxAttempts = 6;
+
+        /** Delay before the first retry, paper-equivalent seconds. */
+        double backoffSeconds = 0.02;
+
+        /** Multiplier applied to the delay after each failure. */
+        double backoffMultiplier = 2.0;
+
+        /** Fatal on out-of-range values. */
+        void validate(const char *context) const;
+    };
+
+    /** Diagnostics of a request the driver gave up on. */
+    struct IoFailure
+    {
+        bool failed = false;
+        std::uint64_t block = 0;
+        std::uint32_t numBlocks = 0;
+        int attempts = 0;
+        DiskIoStatus lastStatus = DiskIoStatus::Ok;
+
+        /** One-line human-readable description. */
+        std::string describe() const;
+    };
+
     /** Policy and modelling parameters. */
     struct Params
     {
@@ -71,6 +107,8 @@ class Kernel : public KernelIface, public IoContext
         std::uint64_t seed = 777;
 
         ServiceTuning tuning;
+
+        DiskRetryPolicy diskRetry;
     };
 
     Kernel(EventQueue &queue, Tlb &tlb, CacheHierarchy &hierarchy,
@@ -139,6 +177,21 @@ class Kernel : public KernelIface, public IoContext
 
     std::uint64_t clockInterrupts() const { return numClockInts; }
 
+    /** Disk faults seen by the driver (failed completions). */
+    std::uint64_t diskFaults() const { return numDiskFaults; }
+
+    /** Retries issued after failed completions. */
+    std::uint64_t diskRetries() const { return numDiskRetries; }
+
+    /** Requests abandoned after exhausting the attempt budget. */
+    std::uint64_t diskGiveUps() const { return numDiskGiveUps; }
+
+    /** True once any request has been abandoned. */
+    bool ioFailed() const { return ioFailureInfo.failed; }
+
+    /** Diagnostics of the first abandoned request. */
+    const IoFailure &ioFailure() const { return ioFailureInfo; }
+
   private:
     /** One suspended-or-active service invocation. */
     struct Frame
@@ -190,10 +243,27 @@ class Kernel : public KernelIface, public IoContext
     std::uint64_t serviceSeed = 1;
     std::uint32_t nextFrameTag = 1;
 
+    std::uint64_t numDiskFaults = 0;
+    std::uint64_t numDiskRetries = 0;
+    std::uint64_t numDiskGiveUps = 0;
+    IoFailure ioFailureInfo;
+
     void pushService(ServiceKind kind,
                      std::unique_ptr<InstSource> stream,
                      std::function<void()> on_complete,
                      IoService *io_service = nullptr);
+
+    /**
+     * Submit @p attempt of a request to the disk; on failure, run
+     * the ErrorRecovery service and schedule the next attempt after
+     * the policy's backoff, or record the give-up.
+     */
+    void submitDiskAttempt(std::uint64_t block,
+                           std::uint32_t num_blocks,
+                           std::function<void()> done, int attempt);
+
+    /** Paper-equivalent seconds → event-queue ticks (min 1). */
+    Tick ticksForEquivSeconds(double seconds) const;
 
     /** Record stats for a completed service and erase its frame. */
     void finalizeService(std::size_t index, bool force = false);

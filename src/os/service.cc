@@ -23,6 +23,7 @@ serviceName(ServiceKind kind)
       case ServiceKind::DuPoll: return "du_poll";
       case ServiceKind::Bsd: return "BSD";
       case ServiceKind::ClockInt: return "clock";
+      case ServiceKind::ErrorRecovery: return "error_recovery";
       case ServiceKind::NumServices: break;
     }
     panic("serviceName: invalid service kind");

@@ -34,6 +34,7 @@ enum class ServiceKind : std::uint8_t
     DuPoll,         ///< Device polling.
     Bsd,            ///< BSD networking / misc syscall layer.
     ClockInt,       ///< Timer interrupt.
+    ErrorRecovery,  ///< Disk-error retry/recovery handler.
     NumServices,
 };
 
@@ -51,6 +52,7 @@ constexpr std::array<ServiceKind, numServices> allServices = {
     ServiceKind::Write,     ServiceKind::Open,
     ServiceKind::Xstat,     ServiceKind::DuPoll,
     ServiceKind::Bsd,       ServiceKind::ClockInt,
+    ServiceKind::ErrorRecovery,
 };
 
 /**

@@ -234,6 +234,17 @@ makeFixedService(ServiceKind kind, const ServiceTuning &t,
                             seed + 1, t.openLength));
         return seq;
       }
+      case ServiceKind::ErrorRecovery: {
+        // Sense the device under the controller lock, then walk the
+        // driver's error path (decode status, log, rebuild the
+        // request) before the backoff-delayed resubmission.
+        auto seq = std::make_unique<SequenceStream>();
+        seq->append(bounded(syncSpec(), seed,
+                            t.errorRecoverySyncLength));
+        seq->append(bounded(kernelCodeSpec(ExecMode::KernelInst),
+                            seed + 1, t.errorRecoveryLength));
+        return seq;
+      }
       case ServiceKind::Read:
       case ServiceKind::Write:
         panic("I/O services are built via IoService, not "

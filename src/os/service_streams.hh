@@ -61,6 +61,8 @@ struct ServiceTuning
     std::uint64_t ioSyncLength = 150;
     std::uint64_t ioSetupLength = 120;
     std::uint64_t ioFinishLength = 60;
+    std::uint64_t errorRecoveryLength = 360;
+    std::uint64_t errorRecoverySyncLength = 40;
 
     /** Probability an open() needs a metadata block from disk. */
     double openMetadataMissProb = 0.05;

@@ -40,6 +40,7 @@ Config::has(const std::string &key) const
 std::string
 Config::getString(const std::string &key, const std::string &def) const
 {
+    readKeys.insert(key);
     auto it = values.find(key);
     return it == values.end() ? def : it->second;
 }
@@ -47,6 +48,7 @@ Config::getString(const std::string &key, const std::string &def) const
 std::int64_t
 Config::getInt(const std::string &key, std::int64_t def) const
 {
+    readKeys.insert(key);
     auto it = values.find(key);
     if (it == values.end())
         return def;
@@ -61,6 +63,7 @@ Config::getInt(const std::string &key, std::int64_t def) const
 double
 Config::getDouble(const std::string &key, double def) const
 {
+    readKeys.insert(key);
     auto it = values.find(key);
     if (it == values.end())
         return def;
@@ -75,6 +78,7 @@ Config::getDouble(const std::string &key, double def) const
 bool
 Config::getBool(const std::string &key, bool def) const
 {
+    readKeys.insert(key);
     auto it = values.find(key);
     if (it == values.end())
         return def;
@@ -111,6 +115,17 @@ Config::keys() const
     out.reserve(values.size());
     for (const auto &[k, v] : values)
         out.push_back(k);
+    return out;
+}
+
+std::vector<std::string>
+Config::unusedKeys() const
+{
+    std::vector<std::string> out;
+    for (const auto &[k, v] : values) {
+        if (readKeys.count(k) == 0)
+            out.push_back(k);
+    }
     return out;
 }
 

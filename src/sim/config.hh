@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -56,8 +57,19 @@ class Config
     /** All keys in sorted order. */
     std::vector<std::string> keys() const;
 
+    /**
+     * Keys that were set but never read by any getX(), in sorted
+     * order. Reads are tracked across the Config's whole lifetime,
+     * so consumers that read their keys before asking are never
+     * reported; what remains is almost always a typo.
+     */
+    std::vector<std::string> unusedKeys() const;
+
   private:
     std::map<std::string, std::string> values;
+
+    /** Keys ever passed to a getX() read (even if absent then). */
+    mutable std::set<std::string> readKeys;
 };
 
 } // namespace softwatt

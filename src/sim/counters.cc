@@ -38,6 +38,9 @@ counterName(CounterId id)
       case CounterId::BranchMispred: return "branch_mispred";
       case CounterId::LoadInsts: return "load_insts";
       case CounterId::StoreInsts: return "store_insts";
+      case CounterId::DiskFault: return "disk_fault";
+      case CounterId::DiskRetry: return "disk_retry";
+      case CounterId::DiskGiveUp: return "disk_giveup";
       case CounterId::NumCounters: break;
     }
     panic("counterName: invalid counter id");

@@ -57,6 +57,9 @@ enum class CounterId : std::uint32_t
     BranchMispred,     ///< Branch mispredictions.
     LoadInsts,         ///< Loads committed.
     StoreInsts,        ///< Stores committed.
+    DiskFault,         ///< Disk completions with an error status.
+    DiskRetry,         ///< Driver retries after disk faults.
+    DiskGiveUp,        ///< Requests abandoned by the driver.
     NumCounters,
 };
 

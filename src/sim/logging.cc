@@ -9,7 +9,22 @@ namespace softwatt
 namespace
 {
 LogLevel globalLevel = LogLevel::Normal;
+ErrorHandler globalErrorHandler;
 } // namespace
+
+ErrorHandler
+setErrorHandler(ErrorHandler handler)
+{
+    ErrorHandler previous = std::move(globalErrorHandler);
+    globalErrorHandler = std::move(handler);
+    return previous;
+}
+
+void
+throwingErrorHandler(ErrorKind kind, const std::string &message)
+{
+    throw SimError(kind, message);
+}
 
 void
 setLogLevel(LogLevel level)
@@ -26,6 +41,8 @@ logLevel()
 void
 fatal(const std::string &message)
 {
+    if (globalErrorHandler)
+        globalErrorHandler(ErrorKind::Fatal, message);
     std::fprintf(stderr, "fatal: %s\n", message.c_str());
     std::exit(1);
 }
@@ -33,6 +50,8 @@ fatal(const std::string &message)
 void
 panic(const std::string &message)
 {
+    if (globalErrorHandler)
+        globalErrorHandler(ErrorKind::Panic, message);
     std::fprintf(stderr, "panic: %s\n", message.c_str());
     std::abort();
 }

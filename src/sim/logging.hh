@@ -8,7 +8,9 @@
 #ifndef SOFTWATT_SIM_LOGGING_HH
 #define SOFTWATT_SIM_LOGGING_HH
 
+#include <functional>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 
 namespace softwatt
@@ -39,6 +41,52 @@ LogLevel logLevel();
  * Aborts so a debugger or core dump can capture the state.
  */
 [[noreturn]] void panic(const std::string &message);
+
+/** Which termination path an error handler intercepted. */
+enum class ErrorKind
+{
+    Fatal,  ///< User error; default action is exit(1).
+    Panic,  ///< Internal invariant violation; default action is abort().
+};
+
+/**
+ * Hook called by fatal()/panic() before terminating. If the handler
+ * throws, termination is averted and the exception propagates to the
+ * caller; if it returns, the default exit/abort still happens (so
+ * fatal/panic stay [[noreturn]] for handlers that merely log).
+ */
+using ErrorHandler =
+    std::function<void(ErrorKind, const std::string &)>;
+
+/**
+ * Install an error handler; pass nullptr to restore the default
+ * terminate behaviour. @return the previously installed handler.
+ */
+ErrorHandler setErrorHandler(ErrorHandler handler);
+
+/** Exception thrown by throwingErrorHandler(). */
+class SimError : public std::runtime_error
+{
+  public:
+    SimError(ErrorKind kind, const std::string &message)
+        : std::runtime_error(message), errorKind(kind)
+    {}
+
+    ErrorKind kind() const { return errorKind; }
+
+  private:
+    ErrorKind errorKind;
+};
+
+/**
+ * Ready-made handler that converts fatal()/panic() into a thrown
+ * SimError, letting tests assert on error paths without dying:
+ *
+ *     setErrorHandler(throwingErrorHandler);
+ *     EXPECT_THROW(SystemConfig::fromConfig(bad), SimError);
+ *     setErrorHandler(nullptr);
+ */
+void throwingErrorHandler(ErrorKind kind, const std::string &message);
 
 /** Print a warning about questionable but survivable behaviour. */
 void warn(const std::string &message);

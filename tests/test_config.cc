@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "sim/config.hh"
+#include "sim/logging.hh"
 
 using namespace softwatt;
 
@@ -87,11 +88,58 @@ TEST(Config, KeysSorted)
     EXPECT_EQ(keys[1], "zebra");
 }
 
-TEST(ConfigDeath, MalformedIntIsFatal)
+TEST(Config, UnusedKeysReportsNeverReadKeys)
+{
+    Config c;
+    c.set("cache.size", std::int64_t(64));
+    c.set("cahe.sise", std::int64_t(32)); // typo: never read
+    c.set("scale", 0.5);
+    (void)c.getInt("cache.size", 0);
+    (void)c.getDouble("scale", 1.0);
+    auto unused = c.unusedKeys();
+    ASSERT_EQ(unused.size(), 1u);
+    EXPECT_EQ(unused[0], "cahe.sise");
+}
+
+TEST(Config, ReadOfAbsentKeyCountsAsUsedOnceSet)
+{
+    // Consumers read with defaults before the key exists; a later
+    // set must not flag it as unused.
+    Config c;
+    (void)c.getInt("later", 0);
+    c.set("later", std::int64_t(1));
+    EXPECT_TRUE(c.unusedKeys().empty());
+}
+
+// With a throwing error handler installed, fatal() becomes a
+// catchable SimError instead of exit(1), so malformed-value paths
+// are testable in-process (no fork, works under sanitizers).
+class ConfigErrorTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { setErrorHandler(throwingErrorHandler); }
+    void TearDown() override { setErrorHandler(nullptr); }
+};
+
+TEST_F(ConfigErrorTest, MalformedIntIsFatal)
 {
     Config c;
     c.set("n", std::string("notanumber"));
-    EXPECT_DEATH((void)c.getInt("n", 0), "not an integer");
+    try {
+        (void)c.getInt("n", 0);
+        FAIL() << "expected SimError";
+    } catch (const SimError &e) {
+        EXPECT_EQ(e.kind(), ErrorKind::Fatal);
+        EXPECT_NE(std::string(e.what()).find("not an integer"),
+                  std::string::npos);
+    }
+}
+
+TEST_F(ConfigErrorTest, MalformedDoubleIsFatal)
+{
+    Config c;
+    c.set("d", std::string("1.2.3"));
+    EXPECT_THROW((void)c.getDouble("d", 0), SimError);
 }
 
 TEST(ConfigDeath, MalformedBoolIsFatal)

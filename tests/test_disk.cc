@@ -69,7 +69,7 @@ TEST(Disk, RequestSeeksThenTransfersThenIdles)
     Fixture f;
     Disk disk = f.make(DiskConfig::idleOnly());
     bool done = false;
-    disk.submit(5000, 4, [&] { done = true; });
+    disk.submit(5000, 4, [&](DiskIoStatus) { done = true; });
     EXPECT_EQ(disk.state(), DiskState::Seeking);
     f.queue.runUntil(equivSeconds(1.0));
     EXPECT_TRUE(done);
@@ -84,7 +84,7 @@ TEST(Disk, SpindownAfterThreshold)
     Fixture f;
     Disk disk = f.make(DiskConfig::spindown(2.0));
     bool done = false;
-    disk.submit(100, 1, [&] { done = true; });
+    disk.submit(100, 1, [&](DiskIoStatus) { done = true; });
     f.queue.runUntil(equivSeconds(1.0));
     ASSERT_TRUE(done);
     EXPECT_EQ(disk.state(), DiskState::Idle);
@@ -100,7 +100,7 @@ TEST(Disk, IdleOnlyNeverSpinsDown)
 {
     Fixture f;
     Disk disk = f.make(DiskConfig::idleOnly());
-    disk.submit(100, 1, [] {});
+    disk.submit(100, 1, [](DiskIoStatus) {});
     f.queue.runUntil(equivSeconds(60.0));
     EXPECT_EQ(disk.state(), DiskState::Idle);
     EXPECT_EQ(disk.spinDowns(), 0u);
@@ -110,13 +110,13 @@ TEST(Disk, RequestFromStandbySpinsUpWithDelay)
 {
     Fixture f;
     Disk disk = f.make(DiskConfig::spindown(2.0));
-    disk.submit(100, 1, [] {});
+    disk.submit(100, 1, [](DiskIoStatus) {});
     f.queue.runUntil(equivSeconds(10.0));
     ASSERT_EQ(disk.state(), DiskState::Standby);
 
     Tick issued = f.queue.now();
     bool done = false;
-    disk.submit(200, 1, [&] { done = true; });
+    disk.submit(200, 1, [&](DiskIoStatus) { done = true; });
     EXPECT_EQ(disk.state(), DiskState::SpinningUp);
     f.queue.runUntil(issued + equivSeconds(4.9));
     EXPECT_FALSE(done);  // still spinning up (5 s)
@@ -130,11 +130,11 @@ TEST(Disk, RequestDuringSpindownWaitsThenSpinsUp)
 {
     Fixture f;
     Disk disk = f.make(DiskConfig::spindown(2.0));
-    disk.submit(100, 1, [] {});
+    disk.submit(100, 1, [](DiskIoStatus) {});
     f.queue.runUntil(equivSeconds(1.0 + 2.0 + 0.5));
     ASSERT_EQ(disk.state(), DiskState::SpinningDown);
     bool done = false;
-    disk.submit(300, 1, [&] { done = true; });
+    disk.submit(300, 1, [&](DiskIoStatus) { done = true; });
     // Must finish the spin-down, then spin up, then serve.
     f.queue.runUntil(equivSeconds(20.0));
     EXPECT_TRUE(done);
@@ -145,11 +145,11 @@ TEST(Disk, NewRequestCancelsArmedSpindown)
 {
     Fixture f;
     Disk disk = f.make(DiskConfig::spindown(2.0));
-    disk.submit(100, 1, [] {});
+    disk.submit(100, 1, [](DiskIoStatus) {});
     // The request finishes well before t=1.5 s; the threshold would
     // expire around t+2 s, so this resubmission disarms it.
     f.queue.runUntil(equivSeconds(1.5));
-    disk.submit(200, 1, [] {});
+    disk.submit(200, 1, [](DiskIoStatus) {});
     f.queue.runUntil(equivSeconds(3.4));
     EXPECT_EQ(disk.spinDowns(), 0u);
 }
@@ -164,13 +164,13 @@ TEST(Disk, SpinupCostsMoreEnergyThanStayingIdle)
 
     for (Fixture *f : {&f1, &f2}) {
         Disk &d = (f == &f1) ? idle_disk : sd_disk;
-        d.submit(100, 1, [] {});
+        d.submit(100, 1, [](DiskIoStatus) {});
         f->queue.runUntil(equivSeconds(1.0));
         // 8 s gap, then another request; stop right after it
         // completes so the comparison covers only the gap episode.
         f->queue.runUntil(f->queue.now() + equivSeconds(8.0));
         bool done = false;
-        d.submit(5000, 1, [&] { done = true; });
+        d.submit(5000, 1, [&](DiskIoStatus) { done = true; });
         while (!done)
             f->queue.advanceTo(f->queue.now() + equivSeconds(0.1));
         EXPECT_TRUE(done);
@@ -186,10 +186,10 @@ TEST(Disk, LongGapFavoursSpindown)
     Disk sd_disk = f2.make(DiskConfig::spindown(2.0));
     for (Fixture *f : {&f1, &f2}) {
         Disk &d = (f == &f1) ? idle_disk : sd_disk;
-        d.submit(100, 1, [] {});
+        d.submit(100, 1, [](DiskIoStatus) {});
         f->queue.runUntil(equivSeconds(1.0));
         f->queue.runUntil(f->queue.now() + equivSeconds(120.0));
-        d.submit(5000, 1, [] {});
+        d.submit(5000, 1, [](DiskIoStatus) {});
         f->queue.runUntil(f->queue.now() + equivSeconds(10.0));
     }
     EXPECT_LT(sd_disk.energyJ(), idle_disk.energyJ());
@@ -199,7 +199,7 @@ TEST(Disk, StateResidenciesCoverElapsedTime)
 {
     Fixture f;
     Disk disk = f.make(DiskConfig::spindown(2.0));
-    disk.submit(100, 2, [] {});
+    disk.submit(100, 2, [](DiskIoStatus) {});
     f.queue.runUntil(equivSeconds(15.0));
     double total = 0;
     for (DiskState s :
@@ -215,7 +215,7 @@ TEST(Disk, SleepIsLowestPower)
 {
     Fixture f;
     Disk disk = f.make(DiskConfig::spindown(2.0));
-    disk.submit(100, 1, [] {});
+    disk.submit(100, 1, [](DiskIoStatus) {});
     f.queue.runUntil(equivSeconds(10.0));
     ASSERT_EQ(disk.state(), DiskState::Standby);
     disk.sleep();
@@ -232,7 +232,7 @@ TEST(Disk, DeterministicAcrossRuns)
     for (double *e : {&e1, &e2}) {
         EventQueue q;
         Disk d(q, freqHz, DiskConfig::idleOnly(), timeScale, 99);
-        d.submit(1000, 3, [] {});
+        d.submit(1000, 3, [](DiskIoStatus) {});
         q.runUntil(equivSeconds(2.0));
         *e = d.energyJ();
     }
@@ -244,9 +244,9 @@ TEST(Disk, QueuedRequestsServeInOrder)
     Fixture f;
     Disk disk = f.make(DiskConfig::idleOnly());
     std::vector<int> order;
-    disk.submit(100, 1, [&] { order.push_back(1); });
-    disk.submit(200, 1, [&] { order.push_back(2); });
-    disk.submit(300, 1, [&] { order.push_back(3); });
+    disk.submit(100, 1, [&](DiskIoStatus) { order.push_back(1); });
+    disk.submit(200, 1, [&](DiskIoStatus) { order.push_back(2); });
+    disk.submit(300, 1, [&](DiskIoStatus) { order.push_back(3); });
     f.queue.runUntil(equivSeconds(5.0));
     EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
     EXPECT_EQ(disk.requestsServed(), 3u);
@@ -257,5 +257,5 @@ TEST(DiskDeath, ZeroBlockRequestFatal)
 {
     Fixture f;
     Disk disk = f.make(DiskConfig::idleOnly());
-    EXPECT_DEATH(disk.submit(0, 0, [] {}), "at least one");
+    EXPECT_DEATH(disk.submit(0, 0, [](DiskIoStatus) {}), "at least one");
 }

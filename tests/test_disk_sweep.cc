@@ -47,7 +47,7 @@ runPattern(DiskConfig config, const std::vector<double> &gap_seconds)
     for (double gap : gap_seconds) {
         t += gap;
         queue.schedule(equivSeconds(t), [&, block] {
-            disk.submit(block, 2, [&] {
+            disk.submit(block, 2, [&](DiskIoStatus) {
                 ++completed;
                 if (completed == expected) {
                     // Snapshot at the moment the workload would end,

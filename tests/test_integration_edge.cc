@@ -93,14 +93,14 @@ TEST(IntegrationEdge, QueuedRequestsAcrossASpinup)
     EventQueue queue;
     Disk disk(queue, 200e6, DiskConfig::spindown(2.0), 100.0, 7);
     // Reach STANDBY.
-    disk.submit(100, 1, [] {});
+    disk.submit(100, 1, [](DiskIoStatus) {});
     queue.runUntil(Tick(10.0 / 100.0 * 200e6));
     ASSERT_EQ(disk.state(), DiskState::Standby);
     // Three requests queue behind one spin-up.
     int done = 0;
-    disk.submit(200, 1, [&] { ++done; });
-    disk.submit(300, 1, [&] { ++done; });
-    disk.submit(400, 1, [&] { ++done; });
+    disk.submit(200, 1, [&](DiskIoStatus) { ++done; });
+    disk.submit(300, 1, [&](DiskIoStatus) { ++done; });
+    disk.submit(400, 1, [&](DiskIoStatus) { ++done; });
     queue.runUntil(queue.now() + Tick(10.0 / 100.0 * 200e6));
     EXPECT_EQ(done, 3);
     EXPECT_EQ(disk.spinUps(), 1u);  // one spin-up serves all three
