@@ -17,7 +17,7 @@
 #include <iostream>
 #include <sstream>
 
-#include "core/experiment.hh"
+#include "core/runner.hh"
 
 using namespace softwatt;
 
@@ -26,17 +26,21 @@ main(int argc, char **argv)
 {
     Config args = parseArgs(argc, argv);
     double scale = args.getDouble("scale", 0.1);
-
-    std::cout << "=== Ablation 1: idle fast-forward vs detailed idle "
-                 "===\n(jess, scale " << scale << ")\n\n";
+    ExperimentSpec spec = ExperimentSpec::fromArgs("ablation", args);
     SystemConfig ff_config = SystemConfig::fromConfig(args);
-    BenchmarkRun ff = runBenchmark(Benchmark::Jess, ff_config, scale);
-
     SystemConfig detailed_config = ff_config;
     detailed_config.idleFastForwardAfter =
         ~Cycles(0) / 2;  // effectively never fast-forward
-    BenchmarkRun detailed =
-        runBenchmark(Benchmark::Jess, detailed_config, scale);
+    spec.add(Benchmark::Jess, ff_config, scale, "fast-forward");
+    spec.add(Benchmark::Jess, detailed_config, scale, "detailed");
+
+    std::cout << "=== Ablation 1: idle fast-forward vs detailed idle "
+                 "===\n(jess, scale " << scale << ")\n\n";
+    ExperimentResult result = runExperiment(spec);
+    const BenchmarkRun &ff =
+        result.run(Benchmark::Jess, "fast-forward");
+    const BenchmarkRun &detailed =
+        result.run(Benchmark::Jess, "detailed");
 
     double e_ff = ff.breakdown.cpuMemEnergyJ();
     double e_detailed = detailed.breakdown.cpuMemEnergyJ();

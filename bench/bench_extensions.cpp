@@ -19,7 +19,7 @@
 #include <iomanip>
 #include <iostream>
 
-#include "core/experiment.hh"
+#include "core/runner.hh"
 
 using namespace softwatt;
 
@@ -28,20 +28,25 @@ main(int argc, char **argv)
 {
     Config args = parseArgs(argc, argv);
     double scale = args.getDouble("scale", 0.3);
+    ExperimentSpec spec =
+        ExperimentSpec::fromArgs("extensions", args);
+    SystemConfig busy_cfg = SystemConfig::fromConfig(args);
+    SystemConfig halt_cfg = busy_cfg;
+    halt_cfg.kernelParams.haltOnIdle = true;
+    spec.addSuite(busy_cfg, scale, "busy");
+    spec.addSuite(halt_cfg, scale, "halt");
 
     std::cout << "=== Extension 1: halting the processor instead of "
                  "busy-wait idling ===\n(scale " << scale << ")\n\n";
+    ExperimentResult result = runExperiment(spec);
+
     std::cout << std::left << std::setw(10) << "bench" << std::right
               << std::setw(14) << "idle E (J)" << std::setw(14)
               << "halted (J)" << std::setw(14) << "saved (%sys)"
               << '\n';
     for (Benchmark b : allBenchmarks) {
-        SystemConfig busy_cfg = SystemConfig::fromConfig(args);
-        BenchmarkRun busy = runBenchmark(b, busy_cfg, scale);
-
-        SystemConfig halt_cfg = busy_cfg;
-        halt_cfg.kernelParams.haltOnIdle = true;
-        BenchmarkRun halted = runBenchmark(b, halt_cfg, scale);
+        const BenchmarkRun &busy = result.run(b, "busy");
+        const BenchmarkRun &halted = result.run(b, "halt");
 
         double busy_idle =
             busy.breakdown.modeEnergyJ(ExecMode::Idle);
@@ -61,8 +66,7 @@ main(int argc, char **argv)
 
     std::cout << "\n=== Extension 2: conditional clocking ablation "
                  "===\n\n";
-    SystemConfig config = SystemConfig::fromConfig(args);
-    BenchmarkRun run = runBenchmark(Benchmark::Jess, config, scale);
+    const BenchmarkRun &run = result.run(Benchmark::Jess, "busy");
     PowerCalculator gated(run.system->powerModel(), true);
     PowerCalculator always(run.system->powerModel(), false);
     double e_gated =
@@ -82,8 +86,7 @@ main(int argc, char **argv)
               << std::setw(12) << "avg (W)" << std::setw(12)
               << "peak (W)" << '\n';
     for (Benchmark b : allBenchmarks) {
-        SystemConfig cfg = SystemConfig::fromConfig(args);
-        BenchmarkRun r = runBenchmark(b, cfg, scale);
+        const BenchmarkRun &r = result.run(b, "busy");
         PowerTrace trace = r.system->powerTrace();
         double avg = r.breakdown.cpuMemEnergyJ() /
                      r.breakdown.seconds();

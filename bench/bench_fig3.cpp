@@ -8,8 +8,8 @@
 
 #include <iostream>
 
-#include "core/experiment.hh"
 #include "core/report.hh"
+#include "core/runner.hh"
 
 using namespace softwatt;
 
@@ -23,21 +23,18 @@ main(int argc, char **argv)
     // The paper's figure shows jess; the technical report has the
     // other benchmarks — select with bench=<name>.
     std::string bench_name = args.getString("bench", "jess");
+    ExperimentSpec spec = ExperimentSpec::fromArgs("fig3", args);
     SystemConfig config = SystemConfig::fromConfig(args);
     config.cpuModel = CpuModel::InOrder;
     config.sampleWindow = sample_window;
-
-    Benchmark bench = Benchmark::Jess;
-    for (Benchmark b : allBenchmarks) {
-        if (bench_name == benchmarkName(b))
-            bench = b;
-    }
+    spec.add(benchmarkByName(bench_name), config, scale);
 
     std::cout << "=== Figure 3: " << bench_name
               << " on the single-issue (Mipsy) model ===\n\n";
-    BenchmarkRun run = runBenchmark(bench, config, scale);
+    ExperimentResult result = runExperiment(spec);
+    const BenchmarkRun &run = result.at(0);
     System &sys = *run.system;
-    double freq = sys.powerModel().technology().freqHz();
+    double freq = result.freqHz();
 
     PowerTrace trace = sys.powerTrace();
     printTimeProfile(std::cout,

@@ -7,8 +7,8 @@
 
 #include <iostream>
 
-#include "core/experiment.hh"
 #include "core/report.hh"
+#include "core/runner.hh"
 
 using namespace softwatt;
 
@@ -22,27 +22,23 @@ main(int argc, char **argv)
     // The paper's figure shows jess; the technical report has the
     // other benchmarks — select with bench=<name>.
     std::string bench_name = args.getString("bench", "jess");
+    ExperimentSpec spec = ExperimentSpec::fromArgs("fig4", args);
     SystemConfig config = SystemConfig::fromConfig(args);
     config.cpuModel = CpuModel::Superscalar;
     config.sampleWindow = sample_window;
-
-    Benchmark bench = Benchmark::Jess;
-    for (Benchmark b : allBenchmarks) {
-        if (bench_name == benchmarkName(b))
-            bench = b;
-    }
+    spec.add(benchmarkByName(bench_name), config, scale);
 
     std::cout << "=== Figure 4: " << bench_name
               << " on the superscalar (MXS) model ===\n\n";
-    BenchmarkRun run = runBenchmark(bench, config, scale);
-    System &sys = *run.system;
-    double freq = sys.powerModel().technology().freqHz();
+    ExperimentResult result = runExperiment(spec);
+    System &sys = *result.at(0).system;
 
     PowerTrace trace = sys.powerTrace();
     printTimeProfile(std::cout,
                      "Execution/power profile over time "
                      "(paper-equivalent seconds)",
-                     trace, sys.log(), freq, config.timeScale);
+                     trace, sys.log(), result.freqHz(),
+                     config.timeScale);
 
     std::cout << "\nRun summary: " << sys.now() << " cycles, IPC "
               << sys.cpu().ipc() << ", branch accuracy "

@@ -7,10 +7,9 @@
  */
 
 #include <iostream>
-#include <vector>
 
-#include "core/experiment.hh"
 #include "core/report.hh"
+#include "core/runner.hh"
 
 using namespace softwatt;
 
@@ -19,22 +18,17 @@ main(int argc, char **argv)
 {
     Config args = parseArgs(argc, argv);
     double scale = args.getDouble("scale", 0.5);
-    SystemConfig config = SystemConfig::fromConfig(args);
+    ExperimentSpec spec = ExperimentSpec::fromArgs("fig5", args);
+    spec.addSuite(SystemConfig::fromConfig(args), scale);
 
     std::cout << "=== Figure 5: Overall Power Budget, Conventional "
                  "Disk ===\n(six-benchmark average, scale " << scale
               << ")\n\n";
 
-    std::vector<PowerBreakdown> conventional;
-    for (Benchmark b : allBenchmarks) {
-        BenchmarkRun run = runBenchmark(b, config, scale);
-        conventional.push_back(run.conventional);
-        std::cout << "  [" << run.name << " done: "
-                  << run.system->now() << " cycles]\n";
-    }
-    std::cout << '\n';
+    ExperimentResult result = runExperiment(spec);
     printPowerBudget(std::cout, "Average power budget",
-                     averageBreakdowns(conventional));
+                     averageBreakdowns(
+                         result.conventionalBreakdowns()));
     std::cout << "\nPaper reference: Disk 34%, L1 I-Cache ~22%, "
                  "Clock ~22%, Datapath ~15%, Memory ~6%, others "
                  "<1%.\n";

@@ -7,10 +7,9 @@
  */
 
 #include <iostream>
-#include <vector>
 
-#include "core/experiment.hh"
 #include "core/report.hh"
+#include "core/runner.hh"
 
 using namespace softwatt;
 
@@ -19,21 +18,16 @@ main(int argc, char **argv)
 {
     Config args = parseArgs(argc, argv);
     double scale = args.getDouble("scale", 0.5);
-    SystemConfig config = SystemConfig::fromConfig(args);
+    ExperimentSpec spec = ExperimentSpec::fromArgs("fig6", args);
+    spec.addSuite(SystemConfig::fromConfig(args), scale);
 
     std::cout << "=== Figure 6: Average Power per Mode ===\n"
                  "(six-benchmark average, scale " << scale
               << ")\n\n";
 
-    std::vector<PowerBreakdown> breakdowns;
-    for (Benchmark b : allBenchmarks) {
-        BenchmarkRun run = runBenchmark(b, config, scale);
-        breakdowns.push_back(run.breakdown);
-        std::cout << "  [" << run.name << " done]\n";
-    }
-    std::cout << '\n';
+    ExperimentResult result = runExperiment(spec);
     printModePower(std::cout, "Average power by mode and component",
-                   averageBreakdowns(breakdowns));
+                   averageBreakdowns(result.breakdowns()));
     std::cout << "\nPaper shape: user > sync > kernel > idle; "
                  "L1 I-cache and clock dominate in every mode.\n";
     return 0;

@@ -6,10 +6,9 @@
  */
 
 #include <iostream>
-#include <vector>
 
-#include "core/experiment.hh"
 #include "core/report.hh"
+#include "core/runner.hh"
 
 using namespace softwatt;
 
@@ -18,23 +17,20 @@ main(int argc, char **argv)
 {
     Config args = parseArgs(argc, argv);
     double scale = args.getDouble("scale", 0.5);
+    ExperimentSpec spec = ExperimentSpec::fromArgs("fig7", args);
     SystemConfig config = SystemConfig::fromConfig(args);
     config.diskConfig = DiskConfig::idleOnly();
+    spec.addSuite(config, scale);
 
     std::cout << "=== Figure 7: Power Budget, IDLE-capable Disk ===\n"
                  "(six-benchmark average, scale " << scale
               << ")\n\n";
 
-    std::vector<PowerBreakdown> managed, conventional;
-    for (Benchmark b : allBenchmarks) {
-        BenchmarkRun run = runBenchmark(b, config, scale);
-        managed.push_back(run.breakdown);
-        conventional.push_back(run.conventional);
-        std::cout << "  [" << run.name << " done]\n";
-    }
-    std::cout << '\n';
-    PowerBreakdown avg_managed = averageBreakdowns(managed);
-    PowerBreakdown avg_conv = averageBreakdowns(conventional);
+    ExperimentResult result = runExperiment(spec);
+    PowerBreakdown avg_managed =
+        averageBreakdowns(result.breakdowns());
+    PowerBreakdown avg_conv =
+        averageBreakdowns(result.conventionalBreakdowns());
     printPowerBudget(std::cout, "With IDLE-capable disk",
                      avg_managed);
     std::cout << '\n';

@@ -8,8 +8,8 @@
 
 #include <iostream>
 
-#include "core/experiment.hh"
 #include "core/report.hh"
+#include "core/runner.hh"
 
 using namespace softwatt;
 
@@ -18,25 +18,16 @@ main(int argc, char **argv)
 {
     Config args = parseArgs(argc, argv);
     double scale = args.getDouble("scale", 0.5);
-    SystemConfig config = SystemConfig::fromConfig(args);
+    ExperimentSpec spec = ExperimentSpec::fromArgs("fig8", args);
+    spec.addSuite(SystemConfig::fromConfig(args), scale);
 
     std::cout << "=== Figure 8: Average Power of OS Services ===\n"
                  "(pooled over six benchmarks, scale " << scale
               << ")\n\n";
 
-    std::array<ServiceStats, numServices> pooled{};
-    double freq = 200e6;
-    for (Benchmark b : allBenchmarks) {
-        BenchmarkRun run = runBenchmark(b, config, scale);
-        freq = run.system->powerModel().technology().freqHz();
-        for (ServiceKind kind : allServices) {
-            pooled[int(kind)].merge(
-                run.system->kernel().serviceStats(kind));
-        }
-        std::cout << "  [" << run.name << " done]\n";
-    }
-    std::cout << '\n';
-    printServicePower(std::cout, pooled, freq);
+    ExperimentResult result = runExperiment(spec);
+    printServicePower(std::cout, result.pooledServiceStats(),
+                      result.freqHz());
     std::cout << "\nPaper shape: utlb ~3.5 W (lowest), read ~5.5 W, "
                  "demand_zero ~5 W, cacheflush ~4.5 W.\n";
     return 0;

@@ -18,7 +18,7 @@
 #include <iostream>
 #include <vector>
 
-#include "core/experiment.hh"
+#include "core/runner.hh"
 
 using namespace softwatt;
 
@@ -32,53 +32,54 @@ main(int argc, char **argv)
     // spin-down time; its characterization-sized run is stretched so
     // its two gaps exceed 9 paper-equivalent seconds.
     double mtrt_scale = args.getDouble("mtrt_scale", 2.4);
+    ExperimentSpec spec = ExperimentSpec::fromArgs("fig9", args);
+    SystemConfig base = SystemConfig::fromConfig(args);
 
     struct ConfigRow
     {
         const char *label;
+        const char *variant;
         DiskConfig disk;
     };
     std::vector<ConfigRow> configs = {
-        {"Baseline", DiskConfig::conventional()},
-        {"Without Spindowns", DiskConfig::idleOnly()},
-        {"With 2 Sec. Spindown", DiskConfig::spindown(2.0)},
-        {"With 4 Sec. Spindown", DiskConfig::spindown(4.0)},
+        {"Baseline", "baseline", DiskConfig::conventional()},
+        {"Without Spindowns", "idle", DiskConfig::idleOnly()},
+        {"With 2 Sec. Spindown", "spindown-2s",
+         DiskConfig::spindown(2.0)},
+        {"With 4 Sec. Spindown", "spindown-4s",
+         DiskConfig::spindown(4.0)},
     };
+
+    for (Benchmark b : allBenchmarks) {
+        double run_scale =
+            b == Benchmark::Mtrt ? scale * mtrt_scale : scale;
+        for (const ConfigRow &c : configs) {
+            SystemConfig config = base;
+            config.diskConfig = c.disk;
+            spec.add(b, config, run_scale, c.variant);
+        }
+    }
 
     std::cout << "=== Figure 9: Disk Energy and Idle Cycles per "
                  "Configuration ===\n(scale " << scale << ")\n\n";
+
+    ExperimentResult result = runExperiment(spec);
 
     std::cout << std::left << std::setw(10) << "bench";
     for (const ConfigRow &c : configs)
         std::cout << std::right << std::setw(22) << c.label;
     std::cout << '\n';
 
-    std::vector<std::vector<double>> energies;
-    std::vector<std::vector<double>> idle_cycles;
-
     for (Benchmark b : allBenchmarks) {
-        energies.emplace_back();
-        idle_cycles.emplace_back();
-        std::cout << std::left << std::setw(10) << benchmarkName(b)
-                  << std::flush;
+        std::cout << std::left << std::setw(10) << benchmarkName(b);
         for (const ConfigRow &c : configs) {
-            Config per_run = args;
-            SystemConfig config = SystemConfig::fromConfig(per_run);
-            config.diskConfig = c.disk;
-            double run_scale =
-                b == Benchmark::Mtrt ? scale * mtrt_scale : scale;
-            BenchmarkRun run = runBenchmark(b, config, run_scale);
+            const BenchmarkRun &run = result.run(b, c.variant);
             double energy =
                 c.disk.kind == DiskConfigKind::Conventional
                     ? run.system->diskEnergyConventionalJ()
                     : run.system->diskEnergyJ();
-            double idle = double(run.system->totals().get(
-                ExecMode::Idle, CounterId::Cycles));
-            energies.back().push_back(energy);
-            idle_cycles.back().push_back(idle);
             std::cout << std::right << std::setw(20) << std::fixed
-                      << std::setprecision(2) << energy << " J"
-                      << std::flush;
+                      << std::setprecision(2) << energy << " J";
         }
         std::cout << '\n';
     }
@@ -89,10 +90,12 @@ main(int argc, char **argv)
     for (const ConfigRow &c : configs)
         std::cout << std::right << std::setw(22) << c.label;
     std::cout << '\n';
-    for (std::size_t i = 0; i < energies.size(); ++i) {
-        std::cout << std::left << std::setw(10)
-                  << benchmarkName(allBenchmarks[i]);
-        for (double idle : idle_cycles[i]) {
+    for (Benchmark b : allBenchmarks) {
+        std::cout << std::left << std::setw(10) << benchmarkName(b);
+        for (const ConfigRow &c : configs) {
+            const BenchmarkRun &run = result.run(b, c.variant);
+            double idle = double(run.system->totals().get(
+                ExecMode::Idle, CounterId::Cycles));
             std::cout << std::right << std::setw(22)
                       << std::scientific << std::setprecision(3)
                       << idle * SystemConfig{}.timeScale;

@@ -9,8 +9,8 @@
 #include <iostream>
 #include <vector>
 
-#include "core/experiment.hh"
 #include "core/report.hh"
+#include "core/runner.hh"
 
 using namespace softwatt;
 
@@ -26,6 +26,15 @@ kernelSharePct(const PowerBreakdown &b)
     return total > 0 ? 100.0 * kernel / total : 0;
 }
 
+double
+averageKernelSharePct(const std::vector<PowerBreakdown> &breakdowns)
+{
+    double share = 0;
+    for (const PowerBreakdown &b : breakdowns)
+        share += kernelSharePct(b);
+    return breakdowns.empty() ? 0 : share / double(breakdowns.size());
+}
+
 } // namespace
 
 int
@@ -34,36 +43,30 @@ main(int argc, char **argv)
     Config args = parseArgs(argc, argv);
     double scale = args.getDouble("scale", 0.5);
     bool with_inorder = args.getBool("inorder_compare", true);
+    ExperimentSpec spec = ExperimentSpec::fromArgs("table2", args);
     SystemConfig config = SystemConfig::fromConfig(args);
+    spec.addSuite(config, scale);
+    if (with_inorder) {
+        SystemConfig io_config = config;
+        io_config.cpuModel = CpuModel::InOrder;
+        spec.addSuite(io_config, scale, "inorder");
+    }
 
     std::cout << "=== Table 2: Cycle/Energy Breakdown per Mode ===\n"
                  "(scale " << scale << ")\n\n";
 
-    std::vector<std::string> names;
-    std::vector<PowerBreakdown> breakdowns;
-    double kernel_share_ooo = 0;
-    for (Benchmark b : allBenchmarks) {
-        BenchmarkRun run = runBenchmark(b, config, scale);
-        names.push_back(run.name);
-        breakdowns.push_back(run.breakdown);
-        kernel_share_ooo += kernelSharePct(run.breakdown);
-    }
-    kernel_share_ooo /= 6.0;
-    printTable2(std::cout, names, breakdowns);
+    ExperimentResult result = runExperiment(spec);
+    std::vector<PowerBreakdown> breakdowns = result.breakdowns();
+    printTable2(std::cout, result.names(), breakdowns);
 
     if (with_inorder) {
-        SystemConfig io_config = config;
-        io_config.cpuModel = CpuModel::InOrder;
-        double kernel_share_io = 0;
-        for (Benchmark b : allBenchmarks) {
-            BenchmarkRun run = runBenchmark(b, io_config, scale);
-            kernel_share_io += kernelSharePct(run.breakdown);
-        }
-        kernel_share_io /= 6.0;
         std::cout << "\nAverage kernel activity (cycles):\n";
-        std::cout << "  single-issue : " << kernel_share_io
+        std::cout << "  single-issue : "
+                  << averageKernelSharePct(
+                         result.breakdowns("inorder"))
                   << " %   (paper: 14.28 %)\n";
-        std::cout << "  superscalar  : " << kernel_share_ooo
+        std::cout << "  superscalar  : "
+                  << averageKernelSharePct(breakdowns)
                   << " %   (paper: 21.02 %)\n";
     }
     std::cout << "\nPaper shape: user energy share exceeds its cycle "

@@ -9,8 +9,8 @@
 #include <iostream>
 #include <vector>
 
-#include "core/experiment.hh"
 #include "core/report.hh"
+#include "core/runner.hh"
 
 using namespace softwatt;
 
@@ -19,18 +19,15 @@ main(int argc, char **argv)
 {
     Config args = parseArgs(argc, argv);
     double scale = args.getDouble("scale", 0.5);
-    SystemConfig config = SystemConfig::fromConfig(args);
+    ExperimentSpec spec = ExperimentSpec::fromArgs("table3", args);
+    spec.addSuite(SystemConfig::fromConfig(args), scale);
 
     std::cout << "=== Table 3: Cache References Per Cycle ===\n"
                  "(scale " << scale << ")\n\n";
 
-    std::vector<std::string> names;
-    std::vector<CounterBank> totals;
-    for (Benchmark b : allBenchmarks) {
-        BenchmarkRun run = runBenchmark(b, config, scale);
-        names.push_back(run.name);
-        totals.push_back(run.system->totals());
-    }
+    ExperimentResult result = runExperiment(spec);
+    std::vector<std::string> names = result.names();
+    std::vector<CounterBank> totals = result.counterTotals();
     printTable3(std::cout, names, totals);
     std::cout << '\n';
     printAluUse(std::cout, names, totals);

@@ -9,8 +9,8 @@
 
 #include <iostream>
 
-#include "core/experiment.hh"
 #include "core/report.hh"
+#include "core/runner.hh"
 
 using namespace softwatt;
 
@@ -19,14 +19,16 @@ main(int argc, char **argv)
 {
     Config args = parseArgs(argc, argv);
     double scale = args.getDouble("scale", 0.5);
-    SystemConfig config = SystemConfig::fromConfig(args);
+    ExperimentSpec spec = ExperimentSpec::fromArgs("table4", args);
+    spec.addSuite(SystemConfig::fromConfig(args), scale);
 
     std::cout << "=== Table 4: Kernel Computation by Service ===\n"
                  "(scale " << scale
               << "; invocation counts scale with the workload)\n\n";
 
-    for (Benchmark b : allBenchmarks) {
-        BenchmarkRun run = runBenchmark(b, config, scale);
+    ExperimentResult result = runExperiment(spec);
+    for (std::size_t i = 0; i < result.size(); ++i) {
+        const BenchmarkRun &run = result.at(i);
         std::array<ServiceStats, numServices> stats{};
         for (ServiceKind kind : allServices)
             stats[int(kind)] = run.system->kernel().serviceStats(kind);

@@ -7,10 +7,11 @@
  * licenses trace-based kernel-energy estimation.
  */
 
+#include <algorithm>
 #include <iostream>
 
-#include "core/experiment.hh"
 #include "core/report.hh"
+#include "core/runner.hh"
 
 using namespace softwatt;
 
@@ -19,23 +20,17 @@ main(int argc, char **argv)
 {
     Config args = parseArgs(argc, argv);
     double scale = args.getDouble("scale", 0.5);
-    SystemConfig config = SystemConfig::fromConfig(args);
+    ExperimentSpec spec = ExperimentSpec::fromArgs("table5", args);
+    spec.addSuite(SystemConfig::fromConfig(args), scale);
 
     std::cout << "=== Table 5: Variation in Per-Invocation Service "
                  "Energy ===\n(pooled over six benchmarks, scale "
               << scale << ")\n\n";
 
-    std::array<ServiceStats, numServices> pooled{};
-    double freq = 200e6;
-    for (Benchmark b : allBenchmarks) {
-        BenchmarkRun run = runBenchmark(b, config, scale);
-        freq = run.system->powerModel().technology().freqHz();
-        for (ServiceKind kind : allServices) {
-            pooled[int(kind)].merge(
-                run.system->kernel().serviceStats(kind));
-        }
-    }
-    printTable5(std::cout, pooled, freq);
+    ExperimentResult result = runExperiment(spec);
+    std::array<ServiceStats, numServices> pooled =
+        result.pooledServiceStats();
+    printTable5(std::cout, pooled, result.freqHz());
 
     double internal =
         std::max({pooled[int(ServiceKind::Utlb)]

@@ -11,10 +11,11 @@
  * its invocation counts alone and compare with the detailed result.
  */
 
+#include <cmath>
 #include <iomanip>
 #include <iostream>
 
-#include "core/experiment.hh"
+#include "core/runner.hh"
 
 using namespace softwatt;
 
@@ -23,13 +24,17 @@ main(int argc, char **argv)
 {
     Config args = parseArgs(argc, argv);
     double scale = args.getDouble("scale", 0.5);
-    SystemConfig config = SystemConfig::fromConfig(args);
+    ExperimentSpec spec =
+        ExperimentSpec::fromArgs("trace-estimate", args);
+    spec.addSuite(SystemConfig::fromConfig(args), scale);
 
     std::cout << "=== Trace-based Kernel Energy Estimation "
                  "(Section 3.3) ===\n(scale " << scale << ")\n\n";
 
-    // Calibration run.
-    BenchmarkRun calib = runBenchmark(Benchmark::Jess, config, scale);
+    ExperimentResult result = runExperiment(spec);
+
+    // Calibration on jess; the suite's other five are predicted.
+    const BenchmarkRun &calib = result.run(Benchmark::Jess);
     std::array<double, numServices> mean_energy{};
     for (ServiceKind kind : allServices) {
         mean_energy[int(kind)] =
@@ -45,7 +50,7 @@ main(int argc, char **argv)
     for (Benchmark b :
          {Benchmark::Compress, Benchmark::Db, Benchmark::Javac,
           Benchmark::Mtrt, Benchmark::Jack}) {
-        BenchmarkRun run = runBenchmark(b, config, scale);
+        const BenchmarkRun &run = result.run(b);
         double detailed = 0, estimated = 0;
         for (ServiceKind kind : allServices) {
             const ServiceStats &s =

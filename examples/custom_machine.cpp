@@ -13,7 +13,7 @@
 #include <iomanip>
 #include <iostream>
 
-#include "core/experiment.hh"
+#include "core/runner.hh"
 
 using namespace softwatt;
 
@@ -46,25 +46,19 @@ main(int argc, char **argv)
     Config args = parseArgs(argc, argv);
     std::string bench_name = args.getString("bench", "db");
     double scale = args.getDouble("scale", 0.5);
-
-    Benchmark bench = Benchmark::Db;
-    for (Benchmark b : allBenchmarks) {
-        if (bench_name == benchmarkName(b))
-            bench = b;
-    }
-
-    // Baseline: pristine Table 1 machine.
-    SystemConfig base_config;
-    BenchmarkRun base = runBenchmark(bench, base_config, scale);
-    RunSummary base_summary = summarize(base);
+    ExperimentSpec spec =
+        ExperimentSpec::fromArgs("custom-machine", args);
+    Benchmark bench = benchmarkByName(bench_name);
 
     // Custom: Table 1 plus every command-line override. If the user
     // gave none, use a narrower low-cost design as the demo.
     SystemConfig custom_config = SystemConfig::fromConfig(args);
     bool customized = false;
     for (const std::string &key : args.keys()) {
-        if (key != "bench" && key != "scale")
+        if (key != "bench" && key != "scale" && key != "jobs" &&
+            key != "out") {
             customized = true;
+        }
     }
     if (!customized) {
         custom_config.machine.icache.sizeBytes = 16 * 1024;
@@ -76,7 +70,15 @@ main(int argc, char **argv)
         std::cout << "(no overrides given: comparing against a "
                      "2-wide, 16KB-L1 design)\n\n";
     }
-    BenchmarkRun custom = runBenchmark(bench, custom_config, scale);
+
+    // Baseline: pristine Table 1 machine.
+    spec.add(bench, SystemConfig{}, scale, "table1");
+    spec.add(bench, custom_config, scale, "custom");
+    ExperimentResult result = runExperiment(spec);
+
+    const BenchmarkRun &base = result.run(bench, "table1");
+    const BenchmarkRun &custom = result.run(bench, "custom");
+    RunSummary base_summary = summarize(base);
     RunSummary custom_summary = summarize(custom);
 
     std::cout << "Benchmark: " << bench_name << " (scale " << scale

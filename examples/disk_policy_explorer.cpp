@@ -15,7 +15,7 @@
 #include <sstream>
 #include <vector>
 
-#include "core/experiment.hh"
+#include "core/runner.hh"
 
 using namespace softwatt;
 
@@ -26,12 +26,6 @@ main(int argc, char **argv)
     std::string bench_name = args.getString("bench", "mtrt");
     double scale = args.getDouble("scale", 1.0);
 
-    Benchmark bench = Benchmark::Mtrt;
-    for (Benchmark b : allBenchmarks) {
-        if (bench_name == benchmarkName(b))
-            bench = b;
-    }
-
     std::vector<double> thresholds;
     std::string list = args.getString("thresholds", "0.5,1,2,4,8");
     std::istringstream in(list);
@@ -39,40 +33,51 @@ main(int argc, char **argv)
     while (std::getline(in, tok, ','))
         thresholds.push_back(std::stod(tok));
 
+    ExperimentSpec spec =
+        ExperimentSpec::fromArgs("disk-policy", args);
+    Benchmark bench = benchmarkByName(bench_name);
+    SystemConfig base_config = SystemConfig::fromConfig(args);
+
+    std::vector<std::string> labels;
+    {
+        SystemConfig config = base_config;
+        config.diskConfig = DiskConfig::idleOnly();
+        labels.push_back("idle-only (no spindown)");
+        spec.add(bench, config, scale, "idle-only");
+    }
+    for (double threshold : thresholds) {
+        SystemConfig config = base_config;
+        config.diskConfig = DiskConfig::spindown(threshold);
+        std::ostringstream variant;
+        variant << "spindown@" << threshold;
+        std::ostringstream label;
+        label << "spindown @ " << threshold << " s";
+        labels.push_back(label.str());
+        spec.add(bench, config, scale, variant.str());
+    }
+
     std::cout << "Disk policy exploration for " << bench_name
               << " (scale " << scale << ")\n\n";
+
+    ExperimentResult result = runExperiment(spec);
+
     std::cout << std::left << std::setw(24) << "policy" << std::right
               << std::setw(14) << "disk E (J)" << std::setw(16)
               << "run time (s)" << std::setw(10) << "spinups"
               << '\n';
-
-    auto report = [&](const char *label, const BenchmarkRun &run) {
+    for (std::size_t i = 0; i < result.size(); ++i) {
+        const BenchmarkRun &run = result.at(i);
         double seconds = double(run.system->now()) /
                          run.system->powerModel()
                              .technology()
                              .freqHz() *
                          run.system->config().timeScale;
-        std::cout << std::left << std::setw(24) << label
+        std::cout << std::left << std::setw(24) << labels[i]
                   << std::right << std::setw(14) << std::fixed
                   << std::setprecision(2)
                   << run.system->diskEnergyJ() << std::setw(16)
                   << std::setprecision(3) << seconds << std::setw(10)
                   << run.system->disk().spinUps() << '\n';
-    };
-
-    {
-        SystemConfig config = SystemConfig::fromConfig(args);
-        config.diskConfig = DiskConfig::idleOnly();
-        BenchmarkRun run = runBenchmark(bench, config, scale);
-        report("idle-only (no spindown)", run);
-    }
-    for (double threshold : thresholds) {
-        SystemConfig config = SystemConfig::fromConfig(args);
-        config.diskConfig = DiskConfig::spindown(threshold);
-        BenchmarkRun run = runBenchmark(bench, config, scale);
-        std::ostringstream label;
-        label << "spindown @ " << threshold << " s";
-        report(label.str().c_str(), run);
     }
 
     std::cout << "\nA threshold only pays off when the benchmark's "

@@ -12,9 +12,10 @@
 
 #include <iomanip>
 #include <iostream>
+#include <sstream>
 #include <vector>
 
-#include "core/experiment.hh"
+#include "core/runner.hh"
 
 using namespace softwatt;
 
@@ -24,12 +25,8 @@ main(int argc, char **argv)
     Config args = parseArgs(argc, argv);
     std::string bench_name = args.getString("bench", "mtrt");
     double scale = args.getDouble("scale", 0.2);
-
-    Benchmark bench = Benchmark::Mtrt;
-    for (Benchmark b : allBenchmarks) {
-        if (bench_name == benchmarkName(b))
-            bench = b;
-    }
+    ExperimentSpec spec = ExperimentSpec::fromArgs("dvfs", args);
+    Benchmark bench = benchmarkByName(bench_name);
 
     // Era-plausible operating points: voltage must drop with
     // frequency (the classic alpha-power delay constraint).
@@ -42,8 +39,22 @@ main(int argc, char **argv)
         {200, 3.3}, {166, 3.0}, {133, 2.7}, {100, 2.4}, {66, 2.1},
     };
 
+    SystemConfig base_config = SystemConfig::fromConfig(args);
+    for (const OperatingPoint &point : points) {
+        SystemConfig config = base_config;
+        config.machine.freqMhz = point.mhz;
+        config.machine.vdd = point.vdd;
+        config.useCalibratedPower = false;  // scale with Vdd/f
+        std::ostringstream variant;
+        variant << point.mhz << "MHz";
+        spec.add(bench, config, scale, variant.str());
+    }
+
     std::cout << "DVFS exploration: " << bench_name << " (scale "
               << scale << ", analytical power models)\n\n";
+
+    ExperimentResult result = runExperiment(spec);
+
     std::cout << std::right << std::setw(8) << "MHz" << std::setw(8)
               << "Vdd" << std::setw(14) << "time (s)"
               << std::setw(14) << "energy (J)" << std::setw(14)
@@ -51,13 +62,9 @@ main(int argc, char **argv)
 
     double best_edp = 1e300;
     OperatingPoint best{0, 0};
-    for (const OperatingPoint &point : points) {
-        SystemConfig config = SystemConfig::fromConfig(args);
-        config.machine.freqMhz = point.mhz;
-        config.machine.vdd = point.vdd;
-        config.useCalibratedPower = false;  // scale with Vdd/f
-
-        BenchmarkRun run = runBenchmark(bench, config, scale);
+    for (std::size_t i = 0; i < result.size(); ++i) {
+        const OperatingPoint &point = points[i];
+        const BenchmarkRun &run = result.at(i);
         double seconds = double(run.system->now()) /
                          (point.mhz * 1e6);
         double energy = run.breakdown.cpuMemEnergyJ();

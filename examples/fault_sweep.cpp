@@ -17,7 +17,7 @@
 #include <sstream>
 #include <vector>
 
-#include "core/experiment.hh"
+#include "core/runner.hh"
 
 using namespace softwatt;
 
@@ -27,12 +27,6 @@ main(int argc, char **argv)
     Config args = parseArgs(argc, argv);
     std::string bench_name = args.getString("bench", "jess");
     double scale = args.getDouble("scale", 0.1);
-
-    Benchmark bench = Benchmark::Jess;
-    for (Benchmark b : allBenchmarks) {
-        if (bench_name == benchmarkName(b))
-            bench = b;
-    }
 
     std::vector<double> rates;
     std::string list = args.getString("rates", "0,0.05,0.1,0.2,0.4");
@@ -52,8 +46,27 @@ main(int argc, char **argv)
         {"spindown 2s", DiskConfig::spindown(2.0)},
     };
 
+    ExperimentSpec spec =
+        ExperimentSpec::fromArgs("fault-sweep", args);
+    Benchmark bench = benchmarkByName(bench_name);
+    SystemConfig base_config = SystemConfig::fromConfig(args);
+    for (const Policy &policy : policies) {
+        for (double rate : rates) {
+            SystemConfig config = base_config;
+            config.diskConfig = policy.config;
+            config.diskConfig.fault.enabled = rate > 0;
+            config.diskConfig.fault.transientErrorRate = rate;
+            std::ostringstream variant;
+            variant << policy.label << "@" << rate;
+            spec.add(bench, config, scale, variant.str());
+        }
+    }
+
     std::cout << "Disk fault sweep for " << bench_name << " (scale "
               << scale << ")\n\n";
+
+    ExperimentResult result = runExperiment(spec);
+
     std::cout << std::left << std::setw(14) << "policy"
               << std::setw(8) << "rate" << std::right << std::setw(9)
               << "faults" << std::setw(9) << "retries"
@@ -62,16 +75,12 @@ main(int argc, char **argv)
               << std::setw(12) << "cycles (M)" << std::setw(12)
               << "outcome" << '\n';
 
+    std::size_t idx = 0;
     for (const Policy &policy : policies) {
         // Per-policy fault-free baseline for the penalty columns.
         double base_cycles = 0;
         for (double rate : rates) {
-            SystemConfig config = SystemConfig::fromConfig(args);
-            config.diskConfig = policy.config;
-            config.diskConfig.fault.enabled = rate > 0;
-            config.diskConfig.fault.transientErrorRate = rate;
-
-            BenchmarkRun run = runBenchmark(bench, config, scale);
+            const BenchmarkRun &run = result.at(idx++);
             const System &sys = *run.system;
             const Kernel &kernel = sys.kernel();
             const ServiceStats &recovery =

@@ -14,8 +14,8 @@
 #include <iostream>
 #include <vector>
 
-#include "core/experiment.hh"
 #include "core/report.hh"
+#include "core/runner.hh"
 
 using namespace softwatt;
 
@@ -25,15 +25,13 @@ main(int argc, char **argv)
     Config args = parseArgs(argc, argv);
     std::string bench_name = args.getString("bench", "javac");
     double scale = args.getDouble("scale", 0.5);
+    ExperimentSpec spec =
+        ExperimentSpec::fromArgs("hotspot-report", args);
     SystemConfig config = SystemConfig::fromConfig(args);
+    spec.add(benchmarkByName(bench_name), config, scale);
 
-    Benchmark bench = Benchmark::Javac;
-    for (Benchmark b : allBenchmarks) {
-        if (bench_name == benchmarkName(b))
-            bench = b;
-    }
-
-    BenchmarkRun run = runBenchmark(bench, config, scale);
+    ExperimentResult result = runExperiment(spec);
+    const BenchmarkRun &run = result.at(0);
     System &sys = *run.system;
     double freq = sys.powerModel().technology().freqHz();
 

@@ -10,8 +10,8 @@
 #include <iostream>
 #include <string>
 
-#include "core/experiment.hh"
 #include "core/report.hh"
+#include "core/runner.hh"
 #include "sim/logging.hh"
 
 using namespace softwatt;
@@ -25,13 +25,9 @@ main(int argc, char **argv)
     std::string bench_name = args.getString("bench", "jess");
     double scale = args.getDouble("scale", 0.2);
     std::string csv_path = args.getString("log_csv", "");
+    ExperimentSpec spec = ExperimentSpec::fromArgs("quickstart", args);
     SystemConfig config = SystemConfig::fromConfig(args);
-
-    Benchmark bench = Benchmark::Jess;
-    for (Benchmark b : allBenchmarks) {
-        if (bench_name == benchmarkName(b))
-            bench = b;
-    }
+    spec.add(benchmarkByName(bench_name), config, scale);
 
     std::cout << "Running " << bench_name << " (scale " << scale
               << ") on the "
@@ -40,7 +36,8 @@ main(int argc, char **argv)
                       : "Mipsy-like in-order")
               << " model...\n";
 
-    BenchmarkRun run = runBenchmark(bench, config, scale);
+    ExperimentResult result = runExperiment(spec);
+    const BenchmarkRun &run = result.at(0);
     System &sys = *run.system;
 
     double freq = sys.powerModel().technology().freqHz();

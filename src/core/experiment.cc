@@ -1,5 +1,9 @@
 #include "experiment.hh"
 
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
 #include "sim/logging.hh"
 
 namespace softwatt
@@ -9,7 +13,9 @@ BenchmarkRun
 runBenchmark(Benchmark bench, const SystemConfig &config, double scale)
 {
     BenchmarkRun run;
+    run.bench = bench;
     run.name = benchmarkName(bench);
+    run.scale = scale;
     run.system = std::make_unique<System>(config);
 
     WorkloadSpec spec = benchmarkSpec(bench);
@@ -27,15 +33,6 @@ runBenchmark(Benchmark bench, const SystemConfig &config, double scale)
     return run;
 }
 
-std::vector<BenchmarkRun>
-runSuite(const SystemConfig &config, double scale)
-{
-    std::vector<BenchmarkRun> runs;
-    for (Benchmark b : allBenchmarks)
-        runs.push_back(runBenchmark(b, config, scale));
-    return runs;
-}
-
 PowerBreakdown
 averageBreakdowns(const std::vector<PowerBreakdown> &breakdowns)
 {
@@ -48,22 +45,51 @@ averageBreakdowns(const std::vector<PowerBreakdown> &breakdowns)
     return avg;
 }
 
-Config
-parseArgs(int argc, char **argv)
+std::string
+usageText(const char *argv0)
 {
-    Config config;
+    return msg() << "usage: " << argv0
+                 << " [key=value ...]\n"
+                    "  e.g. scale=0.1 disk.config=spindown "
+                    "disk.threshold_s=2 cpu.model=mipsy seed=7\n"
+                    "  runner keys: jobs=N (worker threads, "
+                    "default hardware concurrency),\n"
+                    "               out=results.json (structured "
+                    "results document)";
+}
+
+bool
+tryParseArgs(int argc, char **argv, Config &out, std::string &error)
+{
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg == "--help" || arg == "-h") {
-            fatal("usage: " + std::string(argv[0]) +
-                  " [key=value ...]\n"
-                  "  e.g. scale=0.1 disk.config=spindown "
-                  "disk.threshold_s=2 cpu.model=mipsy seed=7");
+            error = usageText(argv[0]);
+            return false;
         }
-        if (!config.parseAssignment(arg))
-            fatal(msg() << "malformed argument '" << arg
-                        << "' (expected key=value)");
+        if (!out.parseAssignment(arg)) {
+            error = msg() << "malformed argument '" << arg
+                          << "' (expected key=value)";
+            return false;
+        }
     }
+    return true;
+}
+
+Config
+parseArgs(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--help") == 0 ||
+            std::strcmp(argv[i], "-h") == 0) {
+            std::printf("%s\n", usageText(argv[0]).c_str());
+            std::exit(0);
+        }
+    }
+    Config config;
+    std::string error;
+    if (!tryParseArgs(argc, argv, config, error))
+        fatal(error);
     return config;
 }
 

@@ -19,7 +19,15 @@ namespace softwatt
 /** Results of one benchmark run. */
 struct BenchmarkRun
 {
+    Benchmark bench = Benchmark::Jess;
     std::string name;
+
+    /** Config-variant label assigned by the experiment runner. */
+    std::string variant;
+
+    /** Workload scale the run executed at. */
+    double scale = 1.0;
+
     std::unique_ptr<System> system;
 
     /** How the run ended; breakdowns are partial when not ok(). */
@@ -43,17 +51,30 @@ struct BenchmarkRun
 BenchmarkRun runBenchmark(Benchmark bench, const SystemConfig &config,
                           double scale = 1.0);
 
-/** Run the whole six-benchmark suite. */
-std::vector<BenchmarkRun> runSuite(const SystemConfig &config,
-                                   double scale = 1.0);
-
 /** Average of breakdowns (used for the suite-wide Figs. 5-7). */
 PowerBreakdown averageBreakdowns(
     const std::vector<PowerBreakdown> &breakdowns);
 
+/** Usage text for the standard "key=value" command line. */
+std::string usageText(const char *argv0);
+
 /**
- * Parse command-line "key=value" overrides into a Config; exits with
- * a usage message on malformed arguments.
+ * Parse command-line "key=value" overrides into @p out without
+ * touching the error handler.
+ *
+ * @return false on the first malformed argument, with @p error set
+ *         to the rejection message ("--help"/"-h" also land here,
+ *         with @p error set to the usage text).
+ */
+bool tryParseArgs(int argc, char **argv, Config &out,
+                  std::string &error);
+
+/**
+ * Parse command-line "key=value" overrides into a Config.
+ *
+ * "--help"/"-h" print the usage text on stdout and exit 0; malformed
+ * arguments are reported through fatal(), i.e. the
+ * SimError/error-handler path, so tests can intercept them.
  */
 Config parseArgs(int argc, char **argv);
 

@@ -1,0 +1,213 @@
+#include "json_writer.hh"
+
+#include <charconv>
+#include <cmath>
+#include <ostream>
+
+#include "sim/logging.hh"
+
+namespace softwatt
+{
+
+JsonWriter::JsonWriter(std::ostream &out, int indent)
+    : out(out), indentWidth(indent)
+{
+}
+
+JsonWriter::~JsonWriter()
+{
+    if (!stack.empty())
+        panic("JsonWriter destroyed with unclosed containers");
+}
+
+void
+JsonWriter::beforeValue()
+{
+    if (stack.empty()) {
+        if (rootWritten)
+            panic("JsonWriter: second root value");
+        rootWritten = true;
+        return;
+    }
+    if (stack.back() == Scope::Object && !keyPending)
+        panic("JsonWriter: object member written without a key");
+    if (keyPending) {
+        keyPending = false;
+        return;  // key() already emitted separators and "name":
+    }
+    if (!firstInScope)
+        out << ',';
+    newlineIndent();
+    firstInScope = false;
+}
+
+void
+JsonWriter::newlineIndent()
+{
+    if (indentWidth <= 0)
+        return;
+    out << '\n';
+    for (std::size_t i = 0; i < stack.size() * indentWidth; ++i)
+        out << ' ';
+}
+
+JsonWriter &
+JsonWriter::key(const std::string &name)
+{
+    if (stack.empty() || stack.back() != Scope::Object)
+        panic("JsonWriter: key() outside an object");
+    if (keyPending)
+        panic("JsonWriter: key() while a value is pending");
+    if (!firstInScope)
+        out << ',';
+    newlineIndent();
+    firstInScope = false;
+    writeEscaped(name);
+    out << (indentWidth > 0 ? ": " : ":");
+    keyPending = true;
+    return *this;
+}
+
+void
+JsonWriter::beginObject()
+{
+    beforeValue();
+    out << '{';
+    stack.push_back(Scope::Object);
+    firstInScope = true;
+}
+
+void
+JsonWriter::beforeContainerEnd()
+{
+    if (keyPending)
+        panic("JsonWriter: container closed with a key pending");
+    bool empty = firstInScope;
+    Scope scope = stack.back();
+    stack.pop_back();
+    if (!empty)
+        newlineIndent();
+    firstInScope = false;
+    (void)scope;
+}
+
+void
+JsonWriter::endObject()
+{
+    if (stack.empty() || stack.back() != Scope::Object)
+        panic("JsonWriter: endObject() without beginObject()");
+    beforeContainerEnd();
+    out << '}';
+}
+
+void
+JsonWriter::endArray()
+{
+    if (stack.empty() || stack.back() != Scope::Array)
+        panic("JsonWriter: endArray() without beginArray()");
+    beforeContainerEnd();
+    out << ']';
+}
+
+void
+JsonWriter::beginArray()
+{
+    beforeValue();
+    out << '[';
+    stack.push_back(Scope::Array);
+    firstInScope = true;
+}
+
+void
+JsonWriter::value(const std::string &text)
+{
+    beforeValue();
+    writeEscaped(text);
+}
+
+void
+JsonWriter::value(const char *text)
+{
+    value(std::string(text));
+}
+
+void
+JsonWriter::value(double number)
+{
+    beforeValue();
+    // JSON has no NaN/Infinity literals.
+    if (!std::isfinite(number)) {
+        out << "null";
+        return;
+    }
+    char buf[64];
+    auto [end, ec] =
+        std::to_chars(buf, buf + sizeof(buf), number);
+    if (ec != std::errc())
+        panic("JsonWriter: double conversion failed");
+    out.write(buf, end - buf);
+}
+
+void
+JsonWriter::value(std::int64_t number)
+{
+    beforeValue();
+    out << number;
+}
+
+void
+JsonWriter::value(std::uint64_t number)
+{
+    beforeValue();
+    out << number;
+}
+
+void
+JsonWriter::value(bool flag)
+{
+    beforeValue();
+    out << (flag ? "true" : "false");
+}
+
+void
+JsonWriter::valueNull()
+{
+    beforeValue();
+    out << "null";
+}
+
+void
+JsonWriter::writeEscaped(const std::string &text)
+{
+    out << '"';
+    for (char c : text) {
+        switch (c) {
+          case '"':
+            out << "\\\"";
+            break;
+          case '\\':
+            out << "\\\\";
+            break;
+          case '\n':
+            out << "\\n";
+            break;
+          case '\r':
+            out << "\\r";
+            break;
+          case '\t':
+            out << "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                const char *hex = "0123456789abcdef";
+                out << "\\u00" << hex[(c >> 4) & 0xf]
+                    << hex[c & 0xf];
+            } else {
+                out << c;
+            }
+        }
+    }
+    out << '"';
+}
+
+} // namespace softwatt

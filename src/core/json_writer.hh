@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Minimal streaming JSON writer for structured experiment results.
+ *
+ * Emits deterministic text: object members appear exactly in the
+ * order written, doubles use the shortest round-trip representation
+ * (std::to_chars), and no locale-dependent formatting is involved —
+ * so two runs producing the same values produce byte-identical
+ * documents, which is what the jobs=1 vs jobs=N determinism tests
+ * compare.
+ */
+
+#ifndef SOFTWATT_CORE_JSON_WRITER_HH
+#define SOFTWATT_CORE_JSON_WRITER_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace softwatt
+{
+
+/**
+ * Streaming writer with begin/end nesting and automatic commas and
+ * indentation. Misuse (a value where a key is required, unbalanced
+ * end calls) trips panic(): the schema is entirely produced by our
+ * own code, so a malformed document is a SoftWatt bug.
+ */
+class JsonWriter
+{
+  public:
+    /**
+     * @param out Destination stream.
+     * @param indent Spaces per nesting level; 0 emits compact
+     *        single-line JSON.
+     */
+    explicit JsonWriter(std::ostream &out, int indent = 2);
+
+    /** Panics if the document is incomplete (unclosed containers). */
+    ~JsonWriter();
+
+    JsonWriter(const JsonWriter &) = delete;
+    JsonWriter &operator=(const JsonWriter &) = delete;
+
+    void beginObject();
+    void endObject();
+    void beginArray();
+    void endArray();
+
+    /** Start an object member; must be followed by one value. */
+    JsonWriter &key(const std::string &name);
+
+    void value(const std::string &text);
+    void value(const char *text);
+    void value(double number);
+    void value(std::int64_t number);
+    void value(std::uint64_t number);
+    void value(int number) { value(std::int64_t(number)); }
+    void value(unsigned number) { value(std::uint64_t(number)); }
+    void value(bool flag);
+    void valueNull();
+
+    /** key(name) + value(v) in one call. */
+    template <typename T>
+    void
+    member(const std::string &name, const T &v)
+    {
+        key(name);
+        value(v);
+    }
+
+  private:
+    enum class Scope
+    {
+        Object,
+        Array,
+    };
+
+    std::ostream &out;
+    int indentWidth;
+    std::vector<Scope> stack;
+    bool firstInScope = true;
+    bool keyPending = false;
+    bool rootWritten = false;
+
+    /** Comma/newline/indent bookkeeping before a key or value. */
+    void beforeValue();
+    void beforeContainerEnd();
+    void newlineIndent();
+    void writeEscaped(const std::string &text);
+};
+
+} // namespace softwatt
+
+#endif // SOFTWATT_CORE_JSON_WRITER_HH

@@ -1,0 +1,345 @@
+#include "runner.hh"
+
+#include <fstream>
+#include <future>
+
+#include "sim/logging.hh"
+#include "sim/thread_pool.hh"
+
+#include "json_writer.hh"
+
+namespace softwatt
+{
+
+RunSpec &
+ExperimentSpec::add(Benchmark bench, const SystemConfig &config,
+                    double scale, const std::string &variant)
+{
+    RunSpec spec;
+    spec.bench = bench;
+    spec.variant = variant;
+    spec.config = config;
+    spec.scale = scale;
+    runs.push_back(std::move(spec));
+    return runs.back();
+}
+
+void
+ExperimentSpec::addSuite(const SystemConfig &config, double scale,
+                         const std::string &variant)
+{
+    for (Benchmark b : allBenchmarks)
+        add(b, config, scale, variant);
+}
+
+ExperimentSpec
+ExperimentSpec::fromArgs(const std::string &title, const Config &args)
+{
+    ExperimentSpec spec;
+    spec.title = title;
+    spec.jobs = int(args.getInt("jobs", 0));
+    if (spec.jobs < 0)
+        fatal(msg() << "config: jobs must be >= 0 (got " << spec.jobs
+                    << "); 0 selects hardware concurrency");
+    spec.jsonPath = args.getString("out", "");
+    return spec;
+}
+
+const BenchmarkRun &
+ExperimentResult::at(std::size_t i) const
+{
+    if (i >= results.size())
+        panic("ExperimentResult: run index out of range");
+    return results[i];
+}
+
+const RunSpec &
+ExperimentResult::specAt(std::size_t i) const
+{
+    if (i >= specs.size())
+        panic("ExperimentResult: spec index out of range");
+    return specs[i];
+}
+
+const BenchmarkRun &
+ExperimentResult::run(Benchmark bench,
+                      const std::string &variant) const
+{
+    for (const BenchmarkRun &r : results) {
+        if (r.bench == bench && r.variant == variant)
+            return r;
+    }
+    fatal(msg() << "experiment '" << expTitle << "' has no run for "
+                << benchmarkName(bench) << " variant '" << variant
+                << "'");
+}
+
+std::vector<const BenchmarkRun *>
+ExperimentResult::variantRuns(const std::string &variant) const
+{
+    std::vector<const BenchmarkRun *> matching;
+    for (const BenchmarkRun &r : results) {
+        if (r.variant == variant)
+            matching.push_back(&r);
+    }
+    return matching;
+}
+
+std::vector<std::string>
+ExperimentResult::names(const std::string &variant) const
+{
+    std::vector<std::string> names;
+    for (const BenchmarkRun *r : variantRuns(variant))
+        names.push_back(r->name);
+    return names;
+}
+
+std::vector<PowerBreakdown>
+ExperimentResult::breakdowns(const std::string &variant) const
+{
+    std::vector<PowerBreakdown> breakdowns;
+    for (const BenchmarkRun *r : variantRuns(variant))
+        breakdowns.push_back(r->breakdown);
+    return breakdowns;
+}
+
+std::vector<PowerBreakdown>
+ExperimentResult::conventionalBreakdowns(
+    const std::string &variant) const
+{
+    std::vector<PowerBreakdown> breakdowns;
+    for (const BenchmarkRun *r : variantRuns(variant))
+        breakdowns.push_back(r->conventional);
+    return breakdowns;
+}
+
+std::vector<CounterBank>
+ExperimentResult::counterTotals(const std::string &variant) const
+{
+    std::vector<CounterBank> totals;
+    for (const BenchmarkRun *r : variantRuns(variant))
+        totals.push_back(r->system->totals());
+    return totals;
+}
+
+std::array<ServiceStats, numServices>
+ExperimentResult::pooledServiceStats(const std::string &variant) const
+{
+    std::array<ServiceStats, numServices> pooled{};
+    for (const BenchmarkRun *r : variantRuns(variant)) {
+        for (ServiceKind kind : allServices) {
+            pooled[int(kind)].merge(
+                r->system->kernel().serviceStats(kind));
+        }
+    }
+    return pooled;
+}
+
+double
+ExperimentResult::freqHz() const
+{
+    if (results.empty())
+        return 200e6;
+    return results.front()
+        .system->powerModel()
+        .technology()
+        .freqHz();
+}
+
+namespace
+{
+
+void
+writeBreakdownJson(JsonWriter &json, const PowerBreakdown &b)
+{
+    json.beginObject();
+    json.member("freq_hz", b.freqHz);
+    json.member("total_cycles", std::uint64_t(b.totalCycles()));
+    json.member("seconds", b.seconds());
+    json.member("disk_energy_j", b.diskEnergyJ);
+    json.member("cpu_mem_energy_j", b.cpuMemEnergyJ());
+    json.member("system_avg_power_w", b.systemAvgPowerW());
+    json.key("modes");
+    json.beginObject();
+    for (ExecMode mode : allExecModes) {
+        json.key(execModeName(mode));
+        json.beginObject();
+        json.member("cycles",
+                    std::uint64_t(b.cycles[int(mode)]));
+        json.member("energy_j", b.modeEnergyJ(mode));
+        json.key("component_energy_j");
+        json.beginObject();
+        for (Component c : allComponents) {
+            if (c == Component::Disk)
+                continue;  // not mode-attributed
+            json.member(componentName(c),
+                        b.energyJ[int(mode)][int(c)]);
+        }
+        json.endObject();
+        json.endObject();
+    }
+    json.endObject();
+    json.endObject();
+}
+
+void
+writeCountersJson(JsonWriter &json, const CounterBank &totals)
+{
+    json.beginObject();
+    for (ExecMode mode : allExecModes) {
+        json.key(execModeName(mode));
+        json.beginObject();
+        for (int i = 0; i < numCounters; ++i) {
+            CounterId id = CounterId(i);
+            json.member(counterName(id), totals.get(mode, id));
+        }
+        json.endObject();
+    }
+    json.endObject();
+}
+
+void
+writeServicesJson(JsonWriter &json, const System &sys)
+{
+    json.beginObject();
+    for (ServiceKind kind : allServices) {
+        const ServiceStats &s = sys.kernel().serviceStats(kind);
+        json.key(serviceName(kind));
+        json.beginObject();
+        json.member("invocations", s.invocations);
+        json.member("cycles", s.cycles);
+        json.member("energy_j", s.energyJ);
+        json.member("mean_energy_j", s.meanEnergyJ());
+        json.member("stdev_energy_j", s.stdevEnergyJ());
+        json.member("cod_pct", s.coeffOfDeviationPct());
+        json.endObject();
+    }
+    json.endObject();
+}
+
+void
+writeRunJson(JsonWriter &json, const BenchmarkRun &run)
+{
+    const System &sys = *run.system;
+    json.beginObject();
+    json.member("bench", run.name);
+    json.member("variant", run.variant);
+    json.member("scale", run.scale);
+    json.member("outcome", runOutcomeName(run.result.outcome));
+    if (!run.result.ok())
+        json.member("diagnostics", run.result.diagnostics);
+    json.member("cycles", std::uint64_t(sys.now()));
+    json.member("detailed_cycles",
+                std::uint64_t(sys.detailedCycles()));
+    json.member("fast_forwarded_cycles",
+                std::uint64_t(sys.fastForwardedCycles()));
+    json.member("committed_insts", sys.cpu().committedInsts());
+    json.member("ipc", sys.cpu().ipc());
+    json.member("sample_windows", std::uint64_t(sys.log().size()));
+
+    json.key("breakdown");
+    writeBreakdownJson(json, run.breakdown);
+    json.key("conventional_breakdown");
+    writeBreakdownJson(json, run.conventional);
+    json.key("counters");
+    writeCountersJson(json, sys.totals());
+    json.key("services");
+    writeServicesJson(json, sys);
+
+    json.key("disk");
+    json.beginObject();
+    json.member("energy_j", sys.diskEnergyJ());
+    json.member("conventional_energy_j",
+                sys.diskEnergyConventionalJ());
+    json.member("spin_ups", sys.disk().spinUps());
+    json.member("spin_downs", sys.disk().spinDowns());
+    json.member("faults", sys.kernel().diskFaults());
+    json.member("retries", sys.kernel().diskRetries());
+    json.member("give_ups", sys.kernel().diskGiveUps());
+    json.endObject();
+
+    json.endObject();
+}
+
+/** Run one spec entry and stamp the runner-level metadata. */
+BenchmarkRun
+runOne(const std::string &title, const RunSpec &spec)
+{
+    BenchmarkRun run =
+        runBenchmark(spec.bench, spec.config, spec.scale);
+    run.variant = spec.variant;
+    std::string label = run.name;
+    if (!spec.variant.empty())
+        label += "/" + spec.variant;
+    status(msg() << "[" << title << "] " << label << " done: "
+                 << run.system->now() << " cycles");
+    return run;
+}
+
+} // namespace
+
+void
+ExperimentResult::writeJson(std::ostream &out) const
+{
+    JsonWriter json(out);
+    json.beginObject();
+    json.member("schema", "softwatt-experiment-v1");
+    json.member("experiment", expTitle);
+    json.key("runs");
+    json.beginArray();
+    for (const BenchmarkRun &run : results)
+        writeRunJson(json, run);
+    json.endArray();
+    json.endObject();
+    out << '\n';
+}
+
+ExperimentResult
+runExperiment(const ExperimentSpec &spec)
+{
+    ExperimentResult result;
+    result.expTitle = spec.title;
+    result.specs = spec.runs;
+
+    unsigned jobs = spec.jobs <= 0 ? ThreadPool::defaultThreads()
+                                   : unsigned(spec.jobs);
+    if (jobs > spec.runs.size())
+        jobs = unsigned(spec.runs.size());
+    if (jobs == 0)
+        jobs = 1;
+    result.workerCount = int(jobs);
+
+    result.results.reserve(spec.runs.size());
+    if (jobs == 1) {
+        // Reference path: strictly serial, on the calling thread.
+        for (const RunSpec &rs : spec.runs)
+            result.results.push_back(runOne(spec.title, rs));
+    } else {
+        ThreadPool pool(jobs);
+        std::vector<std::future<BenchmarkRun>> futures;
+        futures.reserve(spec.runs.size());
+        for (const RunSpec &rs : spec.runs) {
+            futures.push_back(pool.submit(
+                [&title = spec.title, &rs] {
+                    return runOne(title, rs);
+                }));
+        }
+        // Collect in submission (= spec) order; completion order is
+        // irrelevant because runs share no mutable state.
+        for (std::future<BenchmarkRun> &f : futures)
+            result.results.push_back(f.get());
+    }
+
+    if (!spec.jsonPath.empty()) {
+        std::ofstream out(spec.jsonPath);
+        if (!out)
+            fatal(msg() << "cannot open '" << spec.jsonPath
+                        << "' for writing");
+        result.writeJson(out);
+        status(msg() << "[" << spec.title << "] results written to "
+                     << spec.jsonPath);
+    }
+    return result;
+}
+
+} // namespace softwatt

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * The experiment-runner subsystem: a declarative ExperimentSpec
+ * (benchmarks x configuration variants x scale) scheduled on a
+ * fixed-size thread pool, with results aggregated in spec order and
+ * emitted as human-readable reports and/or a structured JSON
+ * document.
+ *
+ * Every harness in bench/ and examples/ builds a spec, calls
+ * runExperiment(), and renders its report from the ExperimentResult;
+ * none of them loops over runBenchmark() itself. Each run owns its
+ * System, EventQueue, and RNG streams, so scheduling order cannot
+ * affect results: jobs=N output is bit-identical to the serial
+ * jobs=1 reference path.
+ */
+
+#ifndef SOFTWATT_CORE_RUNNER_HH
+#define SOFTWATT_CORE_RUNNER_HH
+
+#include <array>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "os/service.hh"
+
+#include "experiment.hh"
+
+namespace softwatt
+{
+
+/** One scheduled benchmark run of an experiment. */
+struct RunSpec
+{
+    Benchmark bench = Benchmark::Jess;
+
+    /** Variant label distinguishing configurations ("" if single). */
+    std::string variant;
+
+    SystemConfig config;
+    double scale = 1.0;
+};
+
+/** Declarative description of a whole experiment. */
+struct ExperimentSpec
+{
+    /** Experiment name ("fig5", "fault-sweep", ...). */
+    std::string title;
+
+    std::vector<RunSpec> runs;
+
+    /** Worker threads; <= 0 means hardware concurrency. */
+    int jobs = 0;
+
+    /** Path of the structured JSON document; "" = don't write. */
+    std::string jsonPath;
+
+    /** Append one run and return it for further tweaking. */
+    RunSpec &add(Benchmark bench, const SystemConfig &config,
+                 double scale = 1.0, const std::string &variant = "");
+
+    /** Append all six benchmarks under one configuration. */
+    void addSuite(const SystemConfig &config, double scale = 1.0,
+                  const std::string &variant = "");
+
+    /**
+     * Spec primed from parsed command-line arguments: reads the
+     * runner's own keys (jobs=N, out=path) so SystemConfig's
+     * unused-key check does not flag them.
+     */
+    static ExperimentSpec fromArgs(const std::string &title,
+                                   const Config &args);
+};
+
+/** All results of an experiment, ordered as the spec's runs. */
+class ExperimentResult
+{
+  public:
+    const std::string &title() const { return expTitle; }
+
+    /** Worker threads the experiment actually used. */
+    int jobs() const { return workerCount; }
+
+    std::size_t size() const { return results.size(); }
+    const BenchmarkRun &at(std::size_t i) const;
+    const RunSpec &specAt(std::size_t i) const;
+
+    /** The run for (bench, variant); fatal() if absent. */
+    const BenchmarkRun &run(Benchmark bench,
+                            const std::string &variant = "") const;
+
+    /** Runs carrying @p variant, in spec order. */
+    std::vector<const BenchmarkRun *>
+    variantRuns(const std::string &variant = "") const;
+
+    /** Benchmark names of a variant's runs, in spec order. */
+    std::vector<std::string>
+    names(const std::string &variant = "") const;
+
+    /** Managed-disk breakdowns of a variant's runs. */
+    std::vector<PowerBreakdown>
+    breakdowns(const std::string &variant = "") const;
+
+    /** Conventional-disk breakdowns of a variant's runs. */
+    std::vector<PowerBreakdown>
+    conventionalBreakdowns(const std::string &variant = "") const;
+
+    /** Counter totals of a variant's runs. */
+    std::vector<CounterBank>
+    counterTotals(const std::string &variant = "") const;
+
+    /** Service accounting pooled over a variant's runs. */
+    std::array<ServiceStats, numServices>
+    pooledServiceStats(const std::string &variant = "") const;
+
+    /** Core clock of the first run (all runs share the machine). */
+    double freqHz() const;
+
+    /**
+     * Emit the structured JSON document: per run, the outcome,
+     * cycle/instruction totals, both power breakdowns, the per-mode
+     * counter matrix, service accounting, and disk activity. Output
+     * is deterministic and independent of the jobs= setting.
+     */
+    void writeJson(std::ostream &out) const;
+
+  private:
+    friend ExperimentResult runExperiment(const ExperimentSpec &spec);
+
+    std::string expTitle;
+    int workerCount = 1;
+    std::vector<RunSpec> specs;
+    std::vector<BenchmarkRun> results;
+};
+
+/**
+ * Execute every run of @p spec.
+ *
+ * jobs=1 executes serially on the calling thread (the reference
+ * path); jobs>1 schedules runs on a thread pool. Results land in
+ * spec order either way. If the spec names a jsonPath, the document
+ * is written before returning.
+ */
+ExperimentResult runExperiment(const ExperimentSpec &spec);
+
+} // namespace softwatt
+
+#endif // SOFTWATT_CORE_RUNNER_HH

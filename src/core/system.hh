@@ -160,6 +160,7 @@ class System
     Kernel &kernel() { return *machineKernel; }
     const Kernel &kernel() const { return *machineKernel; }
     Disk &disk() { return *machineDisk; }
+    const Disk &disk() const { return *machineDisk; }
     Cpu &cpu() { return *machineCpu; }
     const Cpu &cpu() const { return *machineCpu; }
     CacheHierarchy &hierarchy() { return *machineHierarchy; }

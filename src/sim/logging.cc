@@ -1,15 +1,39 @@
 #include "logging.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 
 namespace softwatt
 {
 
 namespace
 {
-LogLevel globalLevel = LogLevel::Normal;
+
+std::atomic<LogLevel> globalLevel{LogLevel::Normal};
 ErrorHandler globalErrorHandler;
+
+/**
+ * Serializes message emission: experiment runs execute on a thread
+ * pool, so concurrent warn()/status() calls must not interleave
+ * their bytes. (The level and handler setters stay main-thread
+ * operations; only emission is contended.)
+ */
+std::mutex &
+outputMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+void
+emit(const char *prefix, const std::string &message)
+{
+    std::lock_guard<std::mutex> lock(outputMutex());
+    std::fprintf(stderr, "%s%s\n", prefix, message.c_str());
+}
+
 } // namespace
 
 ErrorHandler
@@ -43,7 +67,7 @@ fatal(const std::string &message)
 {
     if (globalErrorHandler)
         globalErrorHandler(ErrorKind::Fatal, message);
-    std::fprintf(stderr, "fatal: %s\n", message.c_str());
+    emit("fatal: ", message);
     std::exit(1);
 }
 
@@ -52,22 +76,29 @@ panic(const std::string &message)
 {
     if (globalErrorHandler)
         globalErrorHandler(ErrorKind::Panic, message);
-    std::fprintf(stderr, "panic: %s\n", message.c_str());
+    emit("panic: ", message);
     std::abort();
 }
 
 void
 warn(const std::string &message)
 {
-    if (globalLevel >= LogLevel::Normal)
-        std::fprintf(stderr, "warn: %s\n", message.c_str());
+    if (logLevel() >= LogLevel::Normal)
+        emit("warn: ", message);
+}
+
+void
+status(const std::string &message)
+{
+    if (logLevel() >= LogLevel::Normal)
+        emit("", message);
 }
 
 void
 inform(const std::string &message)
 {
-    if (globalLevel >= LogLevel::Verbose)
-        std::fprintf(stderr, "info: %s\n", message.c_str());
+    if (logLevel() >= LogLevel::Verbose)
+        emit("info: ", message);
 }
 
 } // namespace softwatt

@@ -91,6 +91,14 @@ void throwingErrorHandler(ErrorKind kind, const std::string &message);
 /** Print a warning about questionable but survivable behaviour. */
 void warn(const std::string &message);
 
+/**
+ * Print an unprefixed progress line to stderr (shown unless Quiet).
+ * Used by the experiment runner for per-run completion notices, which
+ * may arrive from worker threads in any order; emission is serialized
+ * so lines never interleave.
+ */
+void status(const std::string &message);
+
 /** Print an informational status message. */
 void inform(const std::string &message);
 

@@ -54,6 +54,23 @@ benchmarkName(Benchmark b)
     panic("benchmarkName: invalid benchmark");
 }
 
+Benchmark
+benchmarkByName(const std::string &name)
+{
+    for (Benchmark b : allBenchmarks) {
+        if (name == benchmarkName(b))
+            return b;
+    }
+    std::string known;
+    for (Benchmark b : allBenchmarks) {
+        if (!known.empty())
+            known += ", ";
+        known += benchmarkName(b);
+    }
+    fatal(msg() << "unknown benchmark '" << name << "' (expected "
+                << known << ")");
+}
+
 WorkloadSpec
 benchmarkSpec(Benchmark b)
 {

@@ -196,6 +196,12 @@ constexpr Benchmark allBenchmarks[6] = {
 /** Name as it appears in the paper's tables. */
 const char *benchmarkName(Benchmark b);
 
+/**
+ * Benchmark with the given table name ("jess", "db", ...); fatal()
+ * on an unknown name, listing the valid ones.
+ */
+Benchmark benchmarkByName(const std::string &name);
+
 /** Calibrated spec for one benchmark. */
 WorkloadSpec benchmarkSpec(Benchmark b);
 

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Unit tests for the streaming JSON writer: nesting, escaping,
+ * deterministic number formatting, compact mode, and misuse panics.
+ */
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "core/json_writer.hh"
+#include "sim/logging.hh"
+
+using namespace softwatt;
+
+TEST(JsonWriter, CompactNestedDocument)
+{
+    std::ostringstream out;
+    {
+        JsonWriter w(out, 0);
+        w.beginObject();
+        w.member("a", 1);
+        w.key("b");
+        w.beginArray();
+        w.value(1);
+        w.value(2);
+        w.endArray();
+        w.key("c");
+        w.beginObject();
+        w.member("d", "x");
+        w.endObject();
+        w.endObject();
+    }
+    EXPECT_EQ(out.str(), "{\"a\":1,\"b\":[1,2],\"c\":{\"d\":\"x\"}}");
+}
+
+TEST(JsonWriter, IndentedNestedDocument)
+{
+    std::ostringstream out;
+    {
+        JsonWriter w(out, 2);
+        w.beginObject();
+        w.member("a", 1);
+        w.key("b");
+        w.beginArray();
+        w.value(true);
+        w.endArray();
+        w.endObject();
+    }
+    EXPECT_EQ(out.str(),
+              "{\n  \"a\": 1,\n  \"b\": [\n    true\n  ]\n}");
+}
+
+TEST(JsonWriter, EmptyContainersStayOnOneLine)
+{
+    std::ostringstream out;
+    {
+        JsonWriter w(out, 2);
+        w.beginObject();
+        w.key("empty_obj");
+        w.beginObject();
+        w.endObject();
+        w.key("empty_arr");
+        w.beginArray();
+        w.endArray();
+        w.endObject();
+    }
+    EXPECT_EQ(out.str(),
+              "{\n  \"empty_obj\": {},\n  \"empty_arr\": []\n}");
+}
+
+TEST(JsonWriter, StringEscaping)
+{
+    std::ostringstream out;
+    {
+        JsonWriter w(out, 0);
+        w.value(std::string("q\" b\\ n\n r\r t\t c") + '\x01');
+    }
+    EXPECT_EQ(out.str(),
+              "\"q\\\" b\\\\ n\\n r\\r t\\t c\\u0001\"");
+}
+
+TEST(JsonWriter, NumberFormattingIsShortestRoundTrip)
+{
+    auto render = [](double d) {
+        std::ostringstream out;
+        JsonWriter w(out, 0);
+        w.value(d);
+        return out.str();
+    };
+    EXPECT_EQ(render(0.5), "0.5");
+    EXPECT_EQ(render(0.1), "0.1");
+    EXPECT_EQ(render(3.0), "3");
+    EXPECT_EQ(render(-2.25), "-2.25");
+    // Round-trip: parse back what was written.
+    double tricky = 0.1 + 0.2;
+    EXPECT_EQ(std::stod(render(tricky)), tricky);
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull)
+{
+    std::ostringstream out;
+    {
+        JsonWriter w(out, 0);
+        w.beginArray();
+        w.value(std::nan(""));
+        w.value(std::numeric_limits<double>::infinity());
+        w.valueNull();
+        w.endArray();
+    }
+    EXPECT_EQ(out.str(), "[null,null,null]");
+}
+
+TEST(JsonWriter, IntegerWidths)
+{
+    std::ostringstream out;
+    {
+        JsonWriter w(out, 0);
+        w.beginArray();
+        w.value(std::int64_t(-9007199254740993LL));
+        w.value(std::uint64_t(18446744073709551615ULL));
+        w.value(unsigned(7));
+        w.endArray();
+    }
+    EXPECT_EQ(out.str(),
+              "[-9007199254740993,18446744073709551615,7]");
+}
+
+TEST(JsonWriter, MisusePanics)
+{
+    setErrorHandler(throwingErrorHandler);
+    std::ostringstream out;
+    {
+        JsonWriter w(out, 0);
+        w.beginObject();
+        // Value without a key inside an object.
+        EXPECT_THROW(w.value(1), SimError);
+        // Closing the wrong container kind.
+        EXPECT_THROW(w.endArray(), SimError);
+        w.endObject();
+        // Second root value.
+        EXPECT_THROW(w.beginObject(), SimError);
+    }
+    {
+        JsonWriter w(out, 0);
+        // key() at the root (outside any object).
+        EXPECT_THROW(w.key("a"), SimError);
+        w.beginObject();
+        w.key("pending");
+        EXPECT_THROW(w.key("again"), SimError);
+        EXPECT_THROW(w.endObject(), SimError);  // key still pending
+        w.value(1);
+        w.endObject();
+    }
+    setErrorHandler(nullptr);
+}

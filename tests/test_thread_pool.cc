@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Unit tests for the worker pool underneath the experiment runner:
+ * submission ordering, exception propagation through futures, and
+ * destructor shutdown with work still queued.
+ */
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/thread_pool.hh"
+
+using namespace softwatt;
+
+TEST(ThreadPool, SubmitReturnsFutureValue)
+{
+    ThreadPool pool(2);
+    auto fut = pool.submit([] { return 42; });
+    EXPECT_EQ(fut.get(), 42);
+}
+
+TEST(ThreadPool, SingleThreadRunsJobsInSubmissionOrder)
+{
+    ThreadPool pool(1);
+    std::vector<int> order;
+    std::vector<std::future<void>> done;
+    for (int i = 0; i < 16; ++i)
+        done.push_back(pool.submit([&order, i] { order.push_back(i); }));
+    for (auto &f : done)
+        f.get();
+    ASSERT_EQ(order.size(), 16u);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughFuture)
+{
+    ThreadPool pool(2);
+    auto bad = pool.submit(
+        []() -> int { throw std::runtime_error("boom"); });
+    EXPECT_THROW(bad.get(), std::runtime_error);
+
+    // The worker survives a throwing job.
+    auto good = pool.submit([] { return 7; });
+    EXPECT_EQ(good.get(), 7);
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedWork)
+{
+    std::atomic<int> executed{0};
+    {
+        ThreadPool pool(1);
+        // The first job blocks the lone worker so the rest are still
+        // queued when the destructor runs.
+        pool.submit([&] {
+            std::this_thread::sleep_for(std::chrono::milliseconds(50));
+            ++executed;
+        });
+        for (int i = 0; i < 8; ++i)
+            pool.submit([&] { ++executed; });
+    }
+    EXPECT_EQ(executed.load(), 9);
+}
+
+TEST(ThreadPool, CompletedJobsReachesSubmittedCount)
+{
+    ThreadPool pool(2);
+    std::vector<std::future<void>> done;
+    for (int i = 0; i < 5; ++i)
+        done.push_back(pool.submit([] {}));
+    for (auto &f : done)
+        f.get();
+    // The counter is bumped just after each job finishes; the futures
+    // become ready first, so give the workers a moment.
+    for (int spin = 0; pool.completedJobs() < 5 && spin < 1000; ++spin)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    EXPECT_EQ(pool.completedJobs(), 5u);
+}
+
+TEST(ThreadPool, ZeroThreadsClampsToOne)
+{
+    ThreadPool pool(0);
+    auto fut = pool.submit([] { return 1; });
+    EXPECT_EQ(fut.get(), 1);
+}
+
+TEST(ThreadPool, DefaultThreadsIsPositive)
+{
+    EXPECT_GE(ThreadPool::defaultThreads(), 1u);
+}
