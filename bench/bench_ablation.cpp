@@ -24,7 +24,10 @@ using namespace softwatt;
 int
 main(int argc, char **argv)
 {
-    Config args = parseArgs(argc, argv);
+    CliArgs cli = parseCliArgs(argc, argv);
+    if (cli.shouldExit)
+        return cli.exitCode;
+    Config &args = cli.config;
     double scale = args.getDouble("scale", 0.1);
     ExperimentSpec spec = ExperimentSpec::fromArgs("ablation", args);
     SystemConfig ff_config = SystemConfig::fromConfig(args);

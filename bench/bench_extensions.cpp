@@ -26,7 +26,10 @@ using namespace softwatt;
 int
 main(int argc, char **argv)
 {
-    Config args = parseArgs(argc, argv);
+    CliArgs cli = parseCliArgs(argc, argv);
+    if (cli.shouldExit)
+        return cli.exitCode;
+    Config &args = cli.config;
     double scale = args.getDouble("scale", 0.3);
     ExperimentSpec spec =
         ExperimentSpec::fromArgs("extensions", args);

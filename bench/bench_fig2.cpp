@@ -29,7 +29,9 @@ equivSeconds(double s)
 int
 main(int argc, char **argv)
 {
-    (void)parseArgs(argc, argv);
+    CliArgs cli = parseCliArgs(argc, argv);
+    if (cli.shouldExit)
+        return cli.exitCode;
     DiskPowerSpec power;
 
     std::cout << "=== Figure 2: MK3003MAN Operating Modes ===\n\n";

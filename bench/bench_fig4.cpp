@@ -15,7 +15,10 @@ using namespace softwatt;
 int
 main(int argc, char **argv)
 {
-    Config args = parseArgs(argc, argv);
+    CliArgs cli = parseCliArgs(argc, argv);
+    if (cli.shouldExit)
+        return cli.exitCode;
+    Config &args = cli.config;
     Cycles sample_window =
         Cycles(args.getInt("sample_window", 250'000));
     double scale = args.getDouble("scale", 1.0);

@@ -16,7 +16,10 @@ using namespace softwatt;
 int
 main(int argc, char **argv)
 {
-    Config args = parseArgs(argc, argv);
+    CliArgs cli = parseCliArgs(argc, argv);
+    if (cli.shouldExit)
+        return cli.exitCode;
+    Config &args = cli.config;
     double scale = args.getDouble("scale", 0.5);
     ExperimentSpec spec = ExperimentSpec::fromArgs("fig8", args);
     spec.addSuite(SystemConfig::fromConfig(args), scale);

@@ -25,7 +25,10 @@ using namespace softwatt;
 int
 main(int argc, char **argv)
 {
-    Config args = parseArgs(argc, argv);
+    CliArgs cli = parseCliArgs(argc, argv);
+    if (cli.shouldExit)
+        return cli.exitCode;
+    Config &args = cli.config;
     double scale = args.getDouble("scale", 1.0);
     // mtrt's Figure 9 behaviour (clean STANDBY hits under both
     // thresholds) needs disk-quiet gaps longer than threshold +

@@ -40,7 +40,10 @@ averageKernelSharePct(const std::vector<PowerBreakdown> &breakdowns)
 int
 main(int argc, char **argv)
 {
-    Config args = parseArgs(argc, argv);
+    CliArgs cli = parseCliArgs(argc, argv);
+    if (cli.shouldExit)
+        return cli.exitCode;
+    Config &args = cli.config;
     double scale = args.getDouble("scale", 0.5);
     bool with_inorder = args.getBool("inorder_compare", true);
     ExperimentSpec spec = ExperimentSpec::fromArgs("table2", args);

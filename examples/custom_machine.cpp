@@ -43,7 +43,10 @@ summarize(const BenchmarkRun &run)
 int
 main(int argc, char **argv)
 {
-    Config args = parseArgs(argc, argv);
+    CliArgs cli = parseCliArgs(argc, argv);
+    if (cli.shouldExit)
+        return cli.exitCode;
+    Config &args = cli.config;
     std::string bench_name = args.getString("bench", "db");
     double scale = args.getDouble("scale", 0.5);
     ExperimentSpec spec =

@@ -19,7 +19,10 @@ using namespace softwatt;
 int
 main(int argc, char **argv)
 {
-    Config args = parseArgs(argc, argv);
+    CliArgs cli = parseCliArgs(argc, argv);
+    if (cli.shouldExit)
+        return cli.exitCode;
+    Config &args = cli.config;
     // Read the harness's own keys before fromConfig so its
     // unused-key check doesn't flag them.
     std::string bench_name = args.getString("bench", "jess");

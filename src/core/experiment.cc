@@ -1,7 +1,6 @@
 #include "experiment.hh"
 
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
 
 #include "sim/logging.hh"
@@ -79,18 +78,29 @@ tryParseArgs(int argc, char **argv, Config &out, std::string &error)
 Config
 parseArgs(int argc, char **argv)
 {
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--help") == 0 ||
-            std::strcmp(argv[i], "-h") == 0) {
-            std::printf("%s\n", usageText(argv[0]).c_str());
-            std::exit(0);
-        }
-    }
     Config config;
     std::string error;
     if (!tryParseArgs(argc, argv, config, error))
         fatal(error);
     return config;
+}
+
+CliArgs
+parseCliArgs(int argc, char **argv)
+{
+    CliArgs cli;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--help") == 0 ||
+            std::strcmp(argv[i], "-h") == 0) {
+            std::printf("%s\n", usageText(argv[0]).c_str());
+            cli.shouldExit = true;
+            return cli;
+        }
+    }
+    std::string error;
+    if (!tryParseArgs(argc, argv, cli.config, error))
+        fatal(error);
+    return cli;
 }
 
 } // namespace softwatt

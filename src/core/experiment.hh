@@ -72,11 +72,36 @@ bool tryParseArgs(int argc, char **argv, Config &out,
 /**
  * Parse command-line "key=value" overrides into a Config.
  *
- * "--help"/"-h" print the usage text on stdout and exit 0; malformed
- * arguments are reported through fatal(), i.e. the
- * SimError/error-handler path, so tests can intercept them.
+ * Any failure — including "--help"/"-h" — is reported through
+ * fatal(), i.e. the SimError/error-handler path, so tests can
+ * intercept it. Harness mains should call parseCliArgs() instead,
+ * which handles the help/exit-code plumbing without ever calling
+ * std::exit from library code.
  */
 Config parseArgs(int argc, char **argv);
+
+/**
+ * Command-line parse outcome for a harness main().
+ *
+ * When shouldExit is set the caller must return exitCode from main()
+ * immediately: the usage text (exit 0) has already been printed.
+ * Malformed arguments never produce a CliArgs — they go through
+ * fatal(), which exits 1 in production and throws SimError under an
+ * installed error handler — so no library code calls std::exit.
+ */
+struct CliArgs
+{
+    Config config;
+    bool shouldExit = false;
+    int exitCode = 0;
+};
+
+/**
+ * Parse a harness main()'s command line: "--help"/"-h" print the
+ * usage text on stdout and request exit 0; malformed arguments are
+ * fatal(); anything else lands in CliArgs::config.
+ */
+CliArgs parseCliArgs(int argc, char **argv);
 
 } // namespace softwatt
 

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Runtime invariant checking for a running System.
+ *
+ * The InvariantChecker holds a registry of named validators that are
+ * swept at every sample-log boundary (and once more at end of run).
+ * Validators observe only — they never mutate simulation state — so a
+ * checked run produces bit-identical output to an unchecked one. A
+ * violation panics through the SimError/error-handler path naming the
+ * invariant, so tests can assert on exactly which contract broke.
+ *
+ * Checking defaults to on when the build compiles contract checks in
+ * (SOFTWATT_CHECKS=ON or a !NDEBUG build; see sim/check.hh) and off
+ * otherwise; tests flip it at runtime via setEnabled().
+ */
+
+#ifndef SOFTWATT_CORE_INVARIANTS_HH
+#define SOFTWATT_CORE_INVARIANTS_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/check.hh"
+
+namespace softwatt
+{
+
+class System;
+
+/**
+ * Tolerances for energy-conservation comparisons. Validators compare
+ * sums accumulated in different orders (per-window vs per-mode vs
+ * per-component), so exact equality is not available: each double add
+ * can differ by one ulp (~1e-16 relative), and a run accumulates at
+ * most a few million terms, bounding the drift far below 1e-9
+ * relative. The absolute floor covers totals near zero (empty modes).
+ */
+constexpr double invariantRelEps = 1e-9;
+constexpr double invariantAbsEps = 1e-12;
+
+/** |a - b| within invariant tolerances of the larger magnitude. */
+bool invariantApproxEqual(double a, double b,
+                          double rel = invariantRelEps,
+                          double abs = invariantAbsEps);
+
+/**
+ * Registry of named runtime invariants.
+ */
+class InvariantChecker
+{
+  public:
+    /** Returns "" when the invariant holds, else a failure detail. */
+    using Validator = std::function<std::string()>;
+
+    InvariantChecker() : enabledFlag(checksEnabled()) {}
+
+    /** Register a validator; sweeps run in registration order. */
+    void add(std::string name, Validator validator);
+
+    void setEnabled(bool on) { enabledFlag = on; }
+    bool enabled() const { return enabledFlag; }
+
+    /** Number of registered invariants. */
+    std::size_t size() const { return entries.size(); }
+
+    /** Completed sweeps (0 when checking is disabled). */
+    std::uint64_t passes() const { return numPasses; }
+
+    /**
+     * Run every validator in registration order; the first violation
+     * panics (through the error-handler path) naming the invariant
+     * and @p when. No-op while disabled.
+     */
+    void checkAll(const char *when);
+
+  private:
+    struct Entry
+    {
+        std::string name;
+        Validator validator;
+    };
+
+    std::vector<Entry> entries;
+    bool enabledFlag;
+    std::uint64_t numPasses = 0;
+};
+
+/**
+ * Register the standard per-component validators for @p system:
+ * energy conservation and per-mode/per-component partition of the
+ * power pass, counter monotonicity and totals/log agreement, event
+ * time monotonicity, sample-window contiguity, cache hit/miss
+ * accounting, and the disk state-machine legality, residency and
+ * energy-conservation contracts. Validators hold incremental cursors
+ * so a sweep costs O(new windows), not O(log).
+ */
+void registerSystemInvariants(InvariantChecker &checker,
+                              const System &system);
+
+} // namespace softwatt
+
+#endif // SOFTWATT_CORE_INVARIANTS_HH

@@ -164,6 +164,8 @@ System::System(const SystemConfig &config) : cfg(config)
     machineKernel->setEnergyFn([this](const CounterBank &bank) {
         return calculator->componentEnergiesOf(bank);
     });
+
+    registerSystemInvariants(checker, *this);
 }
 
 void
@@ -194,6 +196,7 @@ System::closeWindow(Tick end_tick)
     sampleLog.append(std::move(record));
     sink.global().clear();
     windowStart = end_tick;
+    checker.checkAll("sample-boundary");
 }
 
 void
@@ -289,6 +292,7 @@ System::run()
         }
     }
     closeWindow(queue.now());
+    checker.checkAll("end-of-run");
     result.cycles = queue.now();
     return result;
 }

@@ -27,6 +27,7 @@
 #include "workload/workload.hh"
 
 #include "idle_profile.hh"
+#include "invariants.hh"
 
 namespace softwatt
 {
@@ -164,10 +165,41 @@ class System
     Cpu &cpu() { return *machineCpu; }
     const Cpu &cpu() const { return *machineCpu; }
     CacheHierarchy &hierarchy() { return *machineHierarchy; }
+    const CacheHierarchy &hierarchy() const
+    {
+        return *machineHierarchy;
+    }
     Tlb &tlb() { return *machineTlb; }
+    const Tlb &tlb() const { return *machineTlb; }
     EventQueue &eventQueue() { return queue; }
+    const EventQueue &eventQueue() const { return queue; }
     const CpuPowerModel &powerModel() const { return *power; }
+    const PowerCalculator &powerCalculator() const
+    {
+        return *calculator;
+    }
     const SystemConfig &config() const { return cfg; }
+
+    /**
+     * The runtime invariant registry for this system. Swept at every
+     * sample-window boundary and at end of run; enabled by default
+     * only in builds that compile contract checks in (see
+     * sim/check.hh), and togglable at runtime for tests.
+     */
+    InvariantChecker &invariants() { return checker; }
+    const InvariantChecker &invariants() const { return checker; }
+
+    /** Sweep all registered invariants now (for tests/tools). */
+    void checkInvariants(const char *when = "on-demand")
+    {
+        checker.checkAll(when);
+    }
+
+    /**
+     * TEST HOOK: mutable access to the totals bank so tests can
+     * corrupt a counter and prove the invariant sweep catches it.
+     */
+    CounterBank &totalsForTest() { return totalsBank; }
 
     /** Cycles skipped by idle fast-forward. */
     Cycles fastForwardedCycles() const { return ffCycles; }
@@ -198,6 +230,8 @@ class System
     SampleLog sampleLog;
     CounterBank totalsBank;
     Tick windowStart = 0;
+
+    InvariantChecker checker;
 
     IdleProfile idleProfile;
     bool idleProfileMeasured = false;

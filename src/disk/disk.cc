@@ -82,6 +82,43 @@ DiskConfig::name() const
     panic("DiskConfig::name: invalid kind");
 }
 
+bool
+Disk::legalTransition(DiskState from, DiskState to)
+{
+    if (from == to)
+        return true;
+    switch (from) {
+      case DiskState::Sleep:
+        return to == DiskState::SpinningUp;
+      case DiskState::Standby:
+        return to == DiskState::SpinningUp || to == DiskState::Sleep;
+      case DiskState::SpinningDown:
+        return to == DiskState::Standby || to == DiskState::Sleep;
+      case DiskState::SpinningUp:
+        // Success reaches IDLE; a spin-up failure falls back to
+        // STANDBY after the full spin-up time and energy are paid.
+        return to == DiskState::Idle || to == DiskState::Standby;
+      case DiskState::Idle:
+        return to == DiskState::Seeking ||
+               to == DiskState::SpinningDown;
+      case DiskState::Active:
+        return to == DiskState::Idle || to == DiskState::Seeking;
+      case DiskState::Seeking:
+        // A servo error settles back to IDLE without transferring.
+        return to == DiskState::Active || to == DiskState::Idle;
+    }
+    return false;
+}
+
+std::string
+Disk::firstIllegalTransition() const
+{
+    if (numIllegal == 0)
+        return "";
+    return std::string(diskStateName(illegalFrom)) + "->" +
+           diskStateName(illegalTo);
+}
+
 Disk::Disk(EventQueue &queue, double freq_hz, const DiskConfig &config,
            double time_scale, std::uint64_t seed)
     : queue(queue), freqHz(freq_hz), cfg(config), timeScale(time_scale),
@@ -89,7 +126,7 @@ Disk::Disk(EventQueue &queue, double freq_hz, const DiskConfig &config,
       currentState(config.kind == DiskConfigKind::Conventional
                        ? DiskState::Active
                        : DiskState::Idle),
-      lastTransition(queue.now())
+      lastTransition(queue.now()), epochTick(queue.now())
 {
     if (time_scale <= 0)
         fatal("disk time_scale must be positive");
@@ -147,6 +184,13 @@ Disk::failHead(DiskIoStatus status)
 void
 Disk::transitionTo(DiskState next)
 {
+    // Record rather than assert: the disk.legal-transitions invariant
+    // reports this at the next sample boundary, so observation never
+    // changes simulation behaviour.
+    if (!legalTransition(currentState, next) && numIllegal++ == 0) {
+        illegalFrom = currentState;
+        illegalTo = next;
+    }
     Tick now = queue.now();
     double sim_seconds = double(now - lastTransition) / freqHz;
     double equiv_seconds = sim_seconds * timeScale;
@@ -154,6 +198,23 @@ Disk::transitionTo(DiskState next)
     stateSecondsAcc[int(currentState)] += equiv_seconds;
     currentState = next;
     lastTransition = now;
+}
+
+double
+Disk::residencyEnergyJ() const
+{
+    double sum = 0;
+    for (int s = 0; s <= int(DiskState::Seeking); ++s) {
+        sum += stateSeconds(DiskState(s)) *
+               statePowerW(DiskState(s));
+    }
+    return sum;
+}
+
+double
+Disk::elapsedEquivSeconds() const
+{
+    return double(queue.now() - epochTick) / freqHz * timeScale;
 }
 
 double

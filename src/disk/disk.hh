@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <string>
 
 #include "sim/event_queue.hh"
 #include "sim/random.hh"
@@ -154,6 +155,41 @@ class Disk
     /** Current operating mode. */
     DiskState state() const { return currentState; }
 
+    /**
+     * True if the Figure-2 operating-mode state machine permits the
+     * @p from → @p to edge (self-transitions are permitted).
+     */
+    static bool legalTransition(DiskState from, DiskState to);
+
+    /**
+     * Transitions taken that violated the legal state graph. Always 0
+     * in a correct run; surfaced by the disk.legal-transitions
+     * invariant rather than asserted inline so observation never
+     * perturbs the simulation.
+     */
+    std::uint64_t illegalTransitions() const { return numIllegal; }
+
+    /** "FROM->TO" label of the first illegal transition; "" if none. */
+    std::string firstIllegalTransition() const;
+
+    /**
+     * Energy re-derived from the per-state residencies, joules.
+     * Accumulated independently of energyJ(); the two must agree to
+     * floating-point tolerance (the disk.energy-conservation
+     * invariant).
+     */
+    double residencyEnergyJ() const;
+
+    /** Paper-equivalent seconds since construction. */
+    double elapsedEquivSeconds() const;
+
+    /**
+     * TEST HOOK: drive the state machine straight to @p s through
+     * transitionTo(), recording legality exactly as a real transition
+     * would. Lets tests inject illegal edges.
+     */
+    void testForceState(DiskState s) { transitionTo(s); }
+
     /** Energy so far in paper-equivalent joules (includes now). */
     double energyJ() const;
 
@@ -195,8 +231,13 @@ class Disk
 
     DiskState currentState;
     Tick lastTransition = 0;
+    Tick epochTick = 0;
     double accumulatedJ = 0;
     double stateSecondsAcc[8] = {};
+
+    std::uint64_t numIllegal = 0;
+    DiskState illegalFrom = DiskState::Idle;
+    DiskState illegalTo = DiskState::Idle;
 
     std::deque<Request> pending;
     bool busy = false;

@@ -78,6 +78,7 @@ Cache::access(Addr addr, bool write)
 
     CacheAccessResult result;
     if (Line *line = findLine(addr)) {
+        ++numHits;
         result.hit = true;
         line->lastUse = useCounter;
         line->dirty = line->dirty || write;

@@ -68,6 +68,7 @@ class Cache
     const std::string &name() const { return cacheName; }
 
     std::uint64_t refs() const { return numRefs; }
+    std::uint64_t hits() const { return numHits; }
     std::uint64_t misses() const { return numMisses; }
     std::uint64_t writebacks() const { return numWritebacks; }
 
@@ -97,6 +98,7 @@ class Cache
     std::uint64_t useCounter = 0;
 
     std::uint64_t numRefs = 0;
+    std::uint64_t numHits = 0;
     std::uint64_t numMisses = 0;
     std::uint64_t numWritebacks = 0;
 

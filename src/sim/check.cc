@@ -1,0 +1,19 @@
+#include "check.hh"
+
+#include "logging.hh"
+
+namespace softwatt
+{
+
+void
+contractFailure(const char *kind, const char *expr, const char *file,
+                int line, const std::string &detail)
+{
+    msg m;
+    m << kind << " failed: " << expr << " at " << file << ":" << line;
+    if (!detail.empty())
+        m << ": " << detail;
+    panic(m);
+}
+
+} // namespace softwatt

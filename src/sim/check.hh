@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Contract macros for internal invariants.
+ *
+ * SW_CHECK(cond, detail) is always compiled: use it for cheap guards
+ * on module boundaries (an event scheduled in the past, a window that
+ * ends before it starts). SW_ASSERT(cond, detail) is for checks that
+ * are too hot for release builds: it is compiled out when NDEBUG is
+ * defined unless the build sets -DSOFTWATT_CHECKS=ON (which defines
+ * SOFTWATT_ENABLE_CHECKS).
+ *
+ * Both macros route failures through panic(), i.e. through the
+ * SimError/error-handler contract of sim/logging.hh, so tests can
+ * intercept a violated contract as a thrown SimError instead of a
+ * process abort. Never use raw assert() in simulation code — the
+ * determinism linter (tools/lint) flags it.
+ */
+
+#ifndef SOFTWATT_SIM_CHECK_HH
+#define SOFTWATT_SIM_CHECK_HH
+
+#include <string>
+
+namespace softwatt
+{
+
+/**
+ * Report a violated SW_CHECK/SW_ASSERT and terminate through the
+ * panic()/error-handler path. @p detail may be empty.
+ */
+[[noreturn]] void contractFailure(const char *kind, const char *expr,
+                                  const char *file, int line,
+                                  const std::string &detail);
+
+} // namespace softwatt
+
+/** Always-on contract check; fails through the panic()/SimError path. */
+#define SW_CHECK(cond, detail)                                        \
+    do {                                                              \
+        if (!(cond)) {                                                \
+            ::softwatt::contractFailure("SW_CHECK", #cond, __FILE__,  \
+                                        __LINE__, (detail));          \
+        }                                                             \
+    } while (0)
+
+#if defined(SOFTWATT_ENABLE_CHECKS) || !defined(NDEBUG)
+#define SOFTWATT_CHECKS_ACTIVE 1
+#else
+#define SOFTWATT_CHECKS_ACTIVE 0
+#endif
+
+#if SOFTWATT_CHECKS_ACTIVE
+/**
+ * Debug/checked-build contract check: live when SOFTWATT_CHECKS=ON or
+ * NDEBUG is not defined; otherwise compiled out (the condition and the
+ * detail expression are not evaluated).
+ */
+#define SW_ASSERT(cond, detail)                                       \
+    do {                                                              \
+        if (!(cond)) {                                                \
+            ::softwatt::contractFailure("SW_ASSERT", #cond, __FILE__, \
+                                        __LINE__, (detail));          \
+        }                                                             \
+    } while (0)
+#else
+#define SW_ASSERT(cond, detail) ((void)0)
+#endif
+
+namespace softwatt
+{
+
+/** True when SW_ASSERT (and default-on invariant checking) is live. */
+constexpr bool
+checksEnabled()
+{
+    return SOFTWATT_CHECKS_ACTIVE != 0;
+}
+
+} // namespace softwatt
+
+#endif // SOFTWATT_SIM_CHECK_HH

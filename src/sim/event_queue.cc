@@ -1,5 +1,6 @@
 #include "event_queue.hh"
 
+#include "check.hh"
 #include "logging.hh"
 
 namespace softwatt
@@ -8,9 +9,9 @@ namespace softwatt
 EventQueue::EventId
 EventQueue::schedule(Tick when, Callback cb)
 {
-    if (when < currentTick)
-        panic(msg() << "event scheduled in the past: " << when << " < "
-                    << currentTick);
+    SW_CHECK(when >= currentTick,
+             msg() << "event scheduled in the past: " << when << " < "
+                   << currentTick);
     EventId id = nextId++;
     heap.push(Entry{when, id, std::move(cb)});
     ++liveCount;
@@ -56,8 +57,8 @@ EventQueue::nextEventTick() const
 void
 EventQueue::advanceTo(Tick target)
 {
-    if (target < currentTick)
-        panic("advanceTo: time would move backwards");
+    SW_CHECK(target >= currentTick,
+             "advanceTo: time would move backwards");
     while (true) {
         skipCancelled();
         if (heap.empty() || heap.top().when > target)

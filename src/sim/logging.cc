@@ -65,8 +65,13 @@ logLevel()
 void
 fatal(const std::string &message)
 {
-    if (globalErrorHandler)
+    if (globalErrorHandler) {
         globalErrorHandler(ErrorKind::Fatal, message);
+        // A handler that returns must not fall through to exit():
+        // with a handler installed the process belongs to a test or
+        // an embedding application, which is never hard-killed.
+        throw SimError(ErrorKind::Fatal, message);
+    }
     emit("fatal: ", message);
     std::exit(1);
 }
@@ -74,8 +79,10 @@ fatal(const std::string &message)
 void
 panic(const std::string &message)
 {
-    if (globalErrorHandler)
+    if (globalErrorHandler) {
         globalErrorHandler(ErrorKind::Panic, message);
+        throw SimError(ErrorKind::Panic, message);
+    }
     emit("panic: ", message);
     std::abort();
 }

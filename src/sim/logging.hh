@@ -32,13 +32,16 @@ LogLevel logLevel();
 
 /**
  * Terminate the simulation due to a user error (bad configuration or
- * arguments). Exits with status 1.
+ * arguments). Exits with status 1, unless an error handler is
+ * installed — then the error surfaces as a SimError instead.
  */
 [[noreturn]] void fatal(const std::string &message);
 
 /**
  * Terminate the simulation due to an internal invariant violation.
- * Aborts so a debugger or core dump can capture the state.
+ * Aborts so a debugger or core dump can capture the state, unless an
+ * error handler is installed — then the violation surfaces as a
+ * SimError instead.
  */
 [[noreturn]] void panic(const std::string &message);
 
@@ -50,10 +53,12 @@ enum class ErrorKind
 };
 
 /**
- * Hook called by fatal()/panic() before terminating. If the handler
- * throws, termination is averted and the exception propagates to the
- * caller; if it returns, the default exit/abort still happens (so
- * fatal/panic stay [[noreturn]] for handlers that merely log).
+ * Hook called by fatal()/panic() instead of terminating. If the
+ * handler throws, the exception propagates to the caller; if it
+ * merely returns (e.g. it only logs), a SimError is thrown on its
+ * behalf. Either way, a process with a handler installed never
+ * hard-exits on fatal()/panic() — the default exit(1)/abort() is
+ * taken only when no handler is set.
  */
 using ErrorHandler =
     std::function<void(ErrorKind, const std::string &)>;

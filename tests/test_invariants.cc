@@ -1,0 +1,291 @@
+/**
+ * @file
+ * Tests for the contract macros (sim/check.hh) and the runtime
+ * invariant checker (core/invariants.hh): a clean run passes every
+ * sweep, targeted corruption is caught and named, and the checks
+ * observe without perturbing results.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/experiment.hh"
+#include "core/invariants.hh"
+#include "core/system.hh"
+#include "sim/check.hh"
+#include "sim/logging.hh"
+#include "workload/workload.hh"
+
+using namespace softwatt;
+
+namespace
+{
+
+/** Install the throwing handler for the scope of one test. */
+struct HandlerGuard
+{
+    HandlerGuard() { setErrorHandler(throwingErrorHandler); }
+    ~HandlerGuard() { setErrorHandler(nullptr); }
+};
+
+SystemConfig
+tinyConfig()
+{
+    SystemConfig config;
+    config.sampleWindow = 20'000;
+    return config;
+}
+
+/** A small complete run with invariants checked afterwards. */
+BenchmarkRun
+checkedRun(SystemConfig config = tinyConfig())
+{
+    BenchmarkRun run = runBenchmark(Benchmark::Jess, config, 0.03);
+    run.system->invariants().setEnabled(true);
+    return run;
+}
+
+} // namespace
+
+TEST(ContractMacros, SwCheckPassesOnTrueCondition)
+{
+    HandlerGuard guard;
+    EXPECT_NO_THROW(SW_CHECK(1 + 1 == 2, "arithmetic"));
+}
+
+TEST(ContractMacros, SwCheckPanicsWithExpressionAndDetail)
+{
+    HandlerGuard guard;
+    try {
+        SW_CHECK(2 + 2 == 5, "detail text");
+        FAIL() << "SW_CHECK(false) must not fall through";
+    } catch (const SimError &e) {
+        EXPECT_EQ(e.kind(), ErrorKind::Panic);
+        EXPECT_NE(std::string(e.what()).find("2 + 2 == 5"),
+                  std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("detail text"),
+                  std::string::npos);
+    }
+}
+
+TEST(ContractMacros, SwAssertCompiledPerBuildMode)
+{
+    HandlerGuard guard;
+    if constexpr (checksEnabled()) {
+        EXPECT_THROW(SW_ASSERT(false, "gated"), SimError);
+    } else {
+        EXPECT_NO_THROW(SW_ASSERT(false, "gated"));
+    }
+    // Always harmless when the condition holds.
+    EXPECT_NO_THROW(SW_ASSERT(true, "gated"));
+}
+
+TEST(InvariantChecker, DisabledCheckerIsANoOp)
+{
+    InvariantChecker checker;
+    checker.setEnabled(false);
+    checker.add("always-fails", [] { return "broken"; });
+    HandlerGuard guard;
+    EXPECT_NO_THROW(checker.checkAll("test"));
+    EXPECT_EQ(checker.passes(), 0u);
+}
+
+TEST(InvariantChecker, FirstFailureInRegistrationOrderWins)
+{
+    InvariantChecker checker;
+    checker.setEnabled(true);
+    checker.add("passes", [] { return ""; });
+    checker.add("fails-first", [] { return "detail A"; });
+    checker.add("fails-second", [] { return "detail B"; });
+    HandlerGuard guard;
+    try {
+        checker.checkAll("unit");
+        FAIL() << "expected a violation";
+    } catch (const SimError &e) {
+        std::string what = e.what();
+        EXPECT_NE(what.find("fails-first"), std::string::npos);
+        EXPECT_NE(what.find("detail A"), std::string::npos);
+        EXPECT_NE(what.find("(unit)"), std::string::npos);
+        EXPECT_EQ(what.find("fails-second"), std::string::npos);
+    }
+    EXPECT_EQ(checker.passes(), 0u);
+}
+
+TEST(InvariantChecker, CountsCleanSweeps)
+{
+    InvariantChecker checker;
+    checker.setEnabled(true);
+    checker.add("ok", [] { return ""; });
+    checker.checkAll("a");
+    checker.checkAll("b");
+    EXPECT_EQ(checker.passes(), 2u);
+}
+
+TEST(Invariants, CleanRunPassesEverySweep)
+{
+    HandlerGuard guard;
+    BenchmarkRun run = checkedRun();
+    ASSERT_TRUE(run.result.ok());
+    EXPECT_GT(run.system->invariants().size(), 5u);
+    // In checks-enabled builds the run itself already swept at every
+    // sample boundary; either way this sweep must add exactly one.
+    std::uint64_t before = run.system->invariants().passes();
+    EXPECT_NO_THROW(run.system->checkInvariants("post-run"));
+    EXPECT_EQ(run.system->invariants().passes(), before + 1);
+}
+
+TEST(Invariants, SweepsRunAtSampleBoundariesWhenEnabled)
+{
+    HandlerGuard guard;
+    // Enable before run() so every closeWindow sweeps.
+    System sys(tinyConfig());
+    sys.invariants().setEnabled(true);
+    WorkloadSpec spec =
+        scaleWorkload(benchmarkSpec(Benchmark::Jess), 0.03);
+    sys.attachWorkload(std::make_unique<Workload>(spec));
+    RunResult result = sys.run();
+    EXPECT_TRUE(result.ok());
+    // One sweep per logged window plus the end-of-run sweep.
+    EXPECT_GE(sys.invariants().passes(), sys.log().size());
+}
+
+TEST(Invariants, CorruptedCounterTotalsAreCaught)
+{
+    HandlerGuard guard;
+    BenchmarkRun run = checkedRun();
+    // Inflate (not clear) a counter: monotonicity still holds, so
+    // the bank-vs-log cross-check is the invariant that must fire,
+    // in checks-on and checks-off builds alike.
+    run.system->totalsForTest().addTo(ExecMode::User,
+                                      CounterId::Cycles, 1);
+    try {
+        run.system->checkInvariants("post-corruption");
+        FAIL() << "corrupted totals bank must violate an invariant";
+    } catch (const SimError &e) {
+        EXPECT_EQ(e.kind(), ErrorKind::Panic);
+        EXPECT_NE(std::string(e.what())
+                      .find("counters.totals-match-log"),
+                  std::string::npos);
+    }
+}
+
+TEST(Invariants, CounterRegressionBetweenSweepsIsCaught)
+{
+    HandlerGuard guard;
+    BenchmarkRun run = checkedRun();
+    // First sweep snapshots the totals; clearing them afterwards is
+    // a regression the monotonicity invariant must flag.
+    run.system->checkInvariants("snapshot");
+    run.system->totalsForTest().clear();
+    try {
+        run.system->checkInvariants("post-corruption");
+        FAIL() << "decreasing counters must violate an invariant";
+    } catch (const SimError &e) {
+        EXPECT_NE(std::string(e.what()).find("counters.monotone"),
+                  std::string::npos);
+    }
+}
+
+TEST(Invariants, IllegalDiskTransitionIsCaughtAndNamed)
+{
+    HandlerGuard guard;
+    BenchmarkRun run = checkedRun();
+    ASSERT_EQ(run.system->disk().state(), DiskState::Idle);
+    // IDLE -> SLEEP skips the mandatory spin-down: illegal.
+    run.system->disk().testForceState(DiskState::Sleep);
+    EXPECT_EQ(run.system->disk().illegalTransitions(), 1u);
+    EXPECT_EQ(run.system->disk().firstIllegalTransition(),
+              "IDLE->SLEEP");
+    try {
+        run.system->checkInvariants("post-corruption");
+        FAIL() << "illegal transition must violate an invariant";
+    } catch (const SimError &e) {
+        std::string what = e.what();
+        EXPECT_NE(what.find("disk.legal-transitions"),
+                  std::string::npos);
+        EXPECT_NE(what.find("IDLE->SLEEP"), std::string::npos);
+    }
+}
+
+TEST(Invariants, LegalDiskTransitionsPassTheSweep)
+{
+    HandlerGuard guard;
+    BenchmarkRun run = checkedRun();
+    ASSERT_EQ(run.system->disk().state(), DiskState::Idle);
+    // Walk a legal path: IDLE -> SPINDOWN -> STANDBY -> SPINUP ->
+    // IDLE. Residency/energy bookkeeping stays consistent.
+    run.system->disk().testForceState(DiskState::SpinningDown);
+    run.system->disk().testForceState(DiskState::Standby);
+    run.system->disk().testForceState(DiskState::SpinningUp);
+    run.system->disk().testForceState(DiskState::Idle);
+    EXPECT_EQ(run.system->disk().illegalTransitions(), 0u);
+    EXPECT_NO_THROW(run.system->checkInvariants("post-walk"));
+}
+
+TEST(DiskStateMachine, LegalTransitionTableMatchesFigure2)
+{
+    // Every state may self-transition.
+    for (int s = 0; s <= int(DiskState::Seeking); ++s) {
+        EXPECT_TRUE(Disk::legalTransition(DiskState(s),
+                                          DiskState(s)));
+    }
+    EXPECT_TRUE(Disk::legalTransition(DiskState::Sleep,
+                                      DiskState::SpinningUp));
+    EXPECT_TRUE(Disk::legalTransition(DiskState::Idle,
+                                      DiskState::SpinningDown));
+    EXPECT_TRUE(Disk::legalTransition(DiskState::Seeking,
+                                      DiskState::Active));
+    EXPECT_TRUE(Disk::legalTransition(DiskState::Active,
+                                      DiskState::Idle));
+    // A sleeping or standby disk must spin up before working.
+    EXPECT_FALSE(Disk::legalTransition(DiskState::Sleep,
+                                       DiskState::Active));
+    EXPECT_FALSE(Disk::legalTransition(DiskState::Standby,
+                                       DiskState::Seeking));
+    // Spin-down is mandatory on the way to the low-power modes.
+    EXPECT_FALSE(Disk::legalTransition(DiskState::Idle,
+                                       DiskState::Sleep));
+    EXPECT_FALSE(Disk::legalTransition(DiskState::Idle,
+                                       DiskState::Standby));
+    // ACTIVE is only reachable from SEEK (or itself).
+    EXPECT_FALSE(Disk::legalTransition(DiskState::Idle,
+                                       DiskState::Active));
+}
+
+TEST(Invariants, ApproxEqualHonoursTolerances)
+{
+    EXPECT_TRUE(invariantApproxEqual(1.0, 1.0));
+    EXPECT_TRUE(invariantApproxEqual(1.0, 1.0 + 1e-12));
+    EXPECT_TRUE(invariantApproxEqual(0.0, 1e-13));
+    EXPECT_FALSE(invariantApproxEqual(1.0, 1.0 + 1e-6));
+    EXPECT_FALSE(invariantApproxEqual(1.0,
+                                      std::nan("")));
+}
+
+TEST(Invariants, CheckingDoesNotPerturbResults)
+{
+    HandlerGuard guard;
+    // Identical configs, one run swept at every boundary, one never:
+    // totals and energies must agree bit for bit.
+    BenchmarkRun plain =
+        runBenchmark(Benchmark::Jess, tinyConfig(), 0.03);
+    System sys(tinyConfig());
+    sys.invariants().setEnabled(true);
+    WorkloadSpec spec =
+        scaleWorkload(benchmarkSpec(Benchmark::Jess), 0.03);
+    sys.attachWorkload(std::make_unique<Workload>(spec));
+    ASSERT_TRUE(sys.run().ok());
+
+    EXPECT_EQ(sys.now(), plain.system->now());
+    EXPECT_EQ(sys.log().size(), plain.system->log().size());
+    for (ExecMode m : allExecModes) {
+        for (int c = 0; c < numCounters; ++c) {
+            EXPECT_EQ(sys.totals().get(m, CounterId(c)),
+                      plain.system->totals().get(m, CounterId(c)));
+        }
+    }
+    EXPECT_EQ(sys.breakdown().cpuMemEnergyJ(),
+              plain.breakdown.cpuMemEnergyJ());
+    EXPECT_EQ(sys.diskEnergyJ(), plain.system->diskEnergyJ());
+}

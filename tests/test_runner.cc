@@ -241,11 +241,37 @@ TEST(ParseArgs, MalformedArgumentsReportThroughErrorHandler)
     EXPECT_EQ(ok.getDouble("scale", 0), 0.5);
 
     // --help lands in the error string for tryParseArgs (the exit-0
-    // printing path lives only in parseArgs).
+    // printing path lives only in parseCliArgs).
     char help[] = "--help";
     char *argv_help[] = {prog, help};
     Config unused;
     EXPECT_FALSE(tryParseArgs(2, argv_help, unused, error));
     EXPECT_NE(error.find("usage:"), std::string::npos);
     EXPECT_NE(error.find("jobs=N"), std::string::npos);
+}
+
+TEST(ParseCliArgs, HelpRequestsCleanExitWithoutCallingStdExit)
+{
+    char prog[] = "prog";
+    char help[] = "-h";
+    char *argv_help[] = {prog, help};
+    CliArgs cli = parseCliArgs(2, argv_help);
+    EXPECT_TRUE(cli.shouldExit);
+    EXPECT_EQ(cli.exitCode, 0);
+
+    char scale[] = "scale=0.25";
+    char *argv_ok[] = {prog, scale};
+    cli = parseCliArgs(2, argv_ok);
+    EXPECT_FALSE(cli.shouldExit);
+    EXPECT_EQ(cli.config.getDouble("scale", 0), 0.25);
+}
+
+TEST(ParseCliArgs, MalformedArgumentsGoThroughTheErrorHandler)
+{
+    char prog[] = "prog";
+    char bogus[] = "bogus";
+    char *argv_bad[] = {prog, bogus};
+    setErrorHandler(throwingErrorHandler);
+    EXPECT_THROW(parseCliArgs(2, argv_bad), SimError);
+    setErrorHandler(nullptr);
 }

@@ -93,3 +93,47 @@ TEST(ThreadPool, DefaultThreadsIsPositive)
 {
     EXPECT_GE(ThreadPool::defaultThreads(), 1u);
 }
+
+TEST(ThreadPoolStress, ManyShortJobsWithExceptionsAndEarlyExit)
+{
+    // TSan-targeted stress: many tiny jobs racing across workers,
+    // a regular sprinkling of throwing jobs, only half the futures
+    // drained in-test — the destructor must cleanly finish the rest.
+    constexpr int numJobs = 500;
+    std::atomic<int> succeeded{0};
+    std::vector<std::future<int>> futures;
+    {
+        ThreadPool pool(4);
+        futures.reserve(numJobs);
+        for (int i = 0; i < numJobs; ++i) {
+            futures.push_back(pool.submit([i, &succeeded]() -> int {
+                if (i % 7 == 3)
+                    throw std::runtime_error("synthetic failure");
+                ++succeeded;
+                return i;
+            }));
+        }
+        // Drain only the first half while the pool is still alive.
+        for (int i = 0; i < numJobs / 2; ++i) {
+            if (i % 7 == 3) {
+                EXPECT_THROW(futures[std::size_t(i)].get(),
+                             std::runtime_error);
+            } else {
+                EXPECT_EQ(futures[std::size_t(i)].get(), i);
+            }
+        }
+    }
+    // The destructor drained the remainder: every future is ready.
+    for (int i = numJobs / 2; i < numJobs; ++i) {
+        if (i % 7 == 3) {
+            EXPECT_THROW(futures[std::size_t(i)].get(),
+                         std::runtime_error);
+        } else {
+            EXPECT_EQ(futures[std::size_t(i)].get(), i);
+        }
+    }
+    int expected_failures = 0;
+    for (int i = 0; i < numJobs; ++i)
+        expected_failures += (i % 7 == 3);
+    EXPECT_EQ(succeeded.load(), numJobs - expected_failures);
+}

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * softwatt-lint entry point: scan source trees for determinism and
+ * contract violations.
+ *
+ *   softwatt-lint [--suppressions FILE] ROOT...
+ *
+ * Every .cc/.hh/.cpp/.hpp/.h file under each ROOT is linted; issues
+ * are reported as "path:line: [rule] message" and the exit status is
+ * nonzero when any issue survives the suppression list. Paths are
+ * reported relative to the parent of ROOT, so running from the repo
+ * root over src/ bench/ examples/ yields repo-relative paths — the
+ * form the suppression file and the path-scoped rules match against.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/softwatt_lint.hh"
+
+namespace fs = std::filesystem;
+using softwatt::lint::Issue;
+using softwatt::lint::Suppressions;
+
+namespace
+{
+
+bool
+lintableFile(const fs::path &p)
+{
+    const std::string ext = p.extension().string();
+    return ext == ".cc" || ext == ".hh" || ext == ".cpp" ||
+           ext == ".hpp" || ext == ".h";
+}
+
+bool
+readFile(const fs::path &p, std::string &out)
+{
+    std::ifstream in(p, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    out = buf.str();
+    return true;
+}
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--suppressions FILE] ROOT...\n", argv0);
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<fs::path> roots;
+    Suppressions suppressions;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--suppressions") {
+            if (++i >= argc)
+                return usage(argv[0]);
+            std::string text;
+            if (!readFile(argv[i], text)) {
+                std::fprintf(stderr, "%s: cannot read %s\n", argv[0],
+                             argv[i]);
+                return 2;
+            }
+            std::string error;
+            if (!suppressions.parse(text, error)) {
+                std::fprintf(stderr, "%s: %s: %s\n", argv[0],
+                             argv[i], error.c_str());
+                return 2;
+            }
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else {
+            roots.emplace_back(arg);
+        }
+    }
+    if (roots.empty())
+        return usage(argv[0]);
+
+    // Collect and sort paths so output order never depends on
+    // directory-iteration order.
+    std::vector<std::pair<std::string, fs::path>> files;
+    for (const fs::path &root : roots) {
+        std::error_code ec;
+        if (!fs::is_directory(root, ec)) {
+            std::fprintf(stderr, "%s: not a directory: %s\n",
+                         argv[0], root.string().c_str());
+            return 2;
+        }
+        for (fs::recursive_directory_iterator it(root, ec), end;
+             it != end; it.increment(ec)) {
+            if (ec) {
+                std::fprintf(stderr, "%s: error walking %s\n",
+                             argv[0], root.string().c_str());
+                return 2;
+            }
+            if (!it->is_regular_file() || !lintableFile(it->path()))
+                continue;
+            fs::path rel = fs::relative(it->path(), root);
+            std::string repo_rel =
+                (root.filename() / rel).generic_string();
+            files.emplace_back(std::move(repo_rel), it->path());
+        }
+    }
+    std::sort(files.begin(), files.end());
+
+    int issue_count = 0;
+    for (const auto &[repo_rel, full] : files) {
+        std::string source;
+        if (!readFile(full, source)) {
+            std::fprintf(stderr, "%s: cannot read %s\n", argv[0],
+                         full.string().c_str());
+            return 2;
+        }
+        for (const Issue &issue :
+             softwatt::lint::lintSource(repo_rel, source,
+                                        suppressions)) {
+            std::printf("%s:%d: [%s] %s\n", issue.path.c_str(),
+                        issue.line, issue.rule.c_str(),
+                        issue.message.c_str());
+            ++issue_count;
+        }
+    }
+
+    if (issue_count > 0) {
+        std::fprintf(stderr, "softwatt-lint: %d issue(s) in %zu "
+                             "file(s) scanned\n",
+                     issue_count, files.size());
+        return 1;
+    }
+    return 0;
+}

@@ -1,0 +1,285 @@
+#include "softwatt_lint.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+namespace softwatt::lint
+{
+
+namespace
+{
+
+bool
+identChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/** Does @p path (repo-relative, '/'-separated) live under @p dir? */
+bool
+underDir(const std::string &path, const std::string &dir)
+{
+    return path.size() > dir.size() &&
+           path.compare(0, dir.size(), dir) == 0 &&
+           path[dir.size()] == '/';
+}
+
+bool
+pathContains(const std::string &path, const std::string &needle)
+{
+    return path.find(needle) != std::string::npos;
+}
+
+/** Where a rule applies. */
+enum class Scope
+{
+    Everywhere,
+    SimSources,   ///< Only files under src/.
+    EmissionPaths ///< Only report/JSON emission files.
+};
+
+/** One banned token. */
+struct Needle
+{
+    std::string text;
+
+    /** Match only at identifier boundaries (vs plain substring). */
+    bool identifier = true;
+
+    /** Additionally require a '(' after the token (call sites). */
+    bool requireParen = false;
+};
+
+struct Rule
+{
+    std::string name;
+    Scope scope;
+    std::string message;
+    std::vector<Needle> needles;
+};
+
+const std::vector<Rule> &
+rules()
+{
+    static const std::vector<Rule> table = {
+        {"banned-rand", Scope::Everywhere,
+         "use softwatt::Random (src/sim/random.hh); global or "
+         "hardware RNGs break run-to-run reproducibility",
+         {{"rand", true, true},
+          {"srand", true, true},
+          {"random_device", true, false}}},
+        {"wall-clock", Scope::SimSources,
+         "simulation code must not read the wall clock; results "
+         "must be a pure function of the configuration",
+         {{"time", true, true},
+          {"clock", true, true},
+          {"gettimeofday", true, true},
+          {"system_clock", false, false},
+          {"steady_clock", false, false},
+          {"high_resolution_clock", false, false}}},
+        {"raw-exit", Scope::Everywhere,
+         "route fatal conditions through fatal()/panic() "
+         "(src/sim/logging.hh) so error handlers and tests can "
+         "intercept them",
+         {{"exit", true, true},
+          {"quick_exit", true, true},
+          {"_Exit", true, true},
+          {"abort", true, true}}},
+        {"unordered-emission", Scope::EmissionPaths,
+         "iteration order of unordered containers is "
+         "implementation-defined; emitted reports must be "
+         "deterministic, use std::map/std::set or sort first",
+         {{"unordered_map", true, false},
+          {"unordered_set", true, false}}},
+        {"raw-assert", Scope::Everywhere,
+         "use SW_ASSERT/SW_CHECK (src/sim/check.hh); raw assert() "
+         "bypasses the error-handler path and vanishes under NDEBUG",
+         {{"assert", true, true},
+          {"<cassert>", false, false},
+          {"<assert.h>", false, false}}},
+    };
+    return table;
+}
+
+bool
+ruleApplies(const Rule &rule, const std::string &path)
+{
+    // The one blessed RNG implementation defines, not uses, the API.
+    if (rule.name == "banned-rand" && path == "src/sim/random.hh")
+        return false;
+    switch (rule.scope) {
+      case Scope::Everywhere:
+        return true;
+      case Scope::SimSources:
+        return underDir(path, "src");
+      case Scope::EmissionPaths:
+        return pathContains(path, "report") ||
+               pathContains(path, "json");
+    }
+    return false;
+}
+
+/** True when masked[pos..] matches the needle with its constraints. */
+bool
+matchesAt(const std::string &masked, std::size_t pos,
+          const Needle &needle)
+{
+    if (needle.identifier) {
+        if (pos > 0 && identChar(masked[pos - 1]))
+            return false;
+        std::size_t end = pos + needle.text.size();
+        if (end < masked.size() && identChar(masked[end]))
+            return false;
+    }
+    if (needle.requireParen) {
+        std::size_t cursor = pos + needle.text.size();
+        while (cursor < masked.size() &&
+               (masked[cursor] == ' ' || masked[cursor] == '\t')) {
+            ++cursor;
+        }
+        if (cursor >= masked.size() || masked[cursor] != '(')
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+Suppressions::parse(const std::string &text, std::string &error)
+{
+    std::istringstream in(text);
+    std::string line;
+    int lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        std::size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line.erase(hash);
+        std::istringstream fields(line);
+        std::string path, rule, extra;
+        if (!(fields >> path))
+            continue;  // blank or comment-only line
+        if (!(fields >> rule) || fields >> extra) {
+            error = "suppressions line " + std::to_string(lineno) +
+                    ": expected '<path> <rule>'";
+            return false;
+        }
+        entries.emplace_back(std::move(path), std::move(rule));
+    }
+    return true;
+}
+
+bool
+Suppressions::suppressed(const std::string &path,
+                         const std::string &rule) const
+{
+    for (const auto &[p, r] : entries) {
+        if (p == path && r == rule)
+            return true;
+    }
+    return false;
+}
+
+std::string
+maskCommentsAndStrings(const std::string &source)
+{
+    std::string out = source;
+    std::size_t i = 0;
+    std::size_t n = source.size();
+
+    auto blank = [&out](std::size_t from, std::size_t to) {
+        for (std::size_t k = from; k < to; ++k) {
+            if (out[k] != '\n')
+                out[k] = ' ';
+        }
+    };
+
+    while (i < n) {
+        char c = source[i];
+        if (c == '/' && i + 1 < n && source[i + 1] == '/') {
+            std::size_t end = source.find('\n', i);
+            if (end == std::string::npos)
+                end = n;
+            blank(i, end);
+            i = end;
+        } else if (c == '/' && i + 1 < n && source[i + 1] == '*') {
+            std::size_t end = source.find("*/", i + 2);
+            end = end == std::string::npos ? n : end + 2;
+            blank(i, end);
+            i = end;
+        } else if (c == 'R' && i + 1 < n && source[i + 1] == '"' &&
+                   (i == 0 || !identChar(source[i - 1]))) {
+            // Raw string: R"delim( ... )delim"
+            std::size_t open = source.find('(', i + 2);
+            if (open == std::string::npos) {
+                i = n;
+                break;
+            }
+            std::string delim = source.substr(i + 2, open - (i + 2));
+            std::string closer = ")" + delim + "\"";
+            std::size_t end = source.find(closer, open + 1);
+            end = end == std::string::npos ? n : end + closer.size();
+            blank(i, end);
+            i = end;
+        } else if (c == '"' || c == '\'') {
+            std::size_t k = i + 1;
+            while (k < n && source[k] != c) {
+                if (source[k] == '\\' && k + 1 < n)
+                    ++k;
+                ++k;
+            }
+            std::size_t end = k < n ? k + 1 : n;
+            blank(i, end);
+            i = end;
+        } else {
+            ++i;
+        }
+    }
+    return out;
+}
+
+std::vector<Issue>
+lintSource(const std::string &path, const std::string &source,
+           const Suppressions &suppressions)
+{
+    std::string masked = maskCommentsAndStrings(source);
+
+    std::vector<Issue> issues;
+    for (const Rule &rule : rules()) {
+        if (!ruleApplies(rule, path))
+            continue;
+        if (suppressions.suppressed(path, rule.name))
+            continue;
+        for (const Needle &needle : rule.needles) {
+            std::size_t pos = 0;
+            while ((pos = masked.find(needle.text, pos)) !=
+                   std::string::npos) {
+                if (matchesAt(masked, pos, needle)) {
+                    Issue issue;
+                    issue.path = path;
+                    issue.line =
+                        1 + int(std::count(masked.begin(),
+                                           masked.begin() +
+                                               std::ptrdiff_t(pos),
+                                           '\n'));
+                    issue.rule = rule.name;
+                    issue.message =
+                        "'" + needle.text + "': " + rule.message;
+                    issues.push_back(std::move(issue));
+                }
+                pos += needle.text.size();
+            }
+        }
+    }
+    std::sort(issues.begin(), issues.end(),
+              [](const Issue &a, const Issue &b) {
+                  if (a.line != b.line)
+                      return a.line < b.line;
+                  return a.rule < b.rule;
+              });
+    return issues;
+}
+
+} // namespace softwatt::lint
