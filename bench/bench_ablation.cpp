@@ -44,6 +44,14 @@ main(int argc, char **argv)
         result.run(Benchmark::Jess, "fast-forward");
     const BenchmarkRun &detailed =
         result.run(Benchmark::Jess, "detailed");
+    if (!ff.hasData() || !detailed.hasData()) {
+        std::cout << "(no data: a jess run ended "
+                  << runOutcomeName(
+                         (ff.hasData() ? detailed : ff)
+                             .result.outcome)
+                  << "; skipping the ablation report)\n";
+        return result.exitCode();
+    }
 
     double e_ff = ff.breakdown.cpuMemEnergyJ();
     double e_detailed = detailed.breakdown.cpuMemEnergyJ();
@@ -85,5 +93,5 @@ main(int argc, char **argv)
               << 100.0 * std::abs(from_csv - e_ff) /
                      (e_ff > 0 ? e_ff : 1)
               << " %\n";
-    return 0;
+    return result.exitCode();
 }

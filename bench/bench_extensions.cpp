@@ -50,6 +50,11 @@ main(int argc, char **argv)
     for (Benchmark b : allBenchmarks) {
         const BenchmarkRun &busy = result.run(b, "busy");
         const BenchmarkRun &halted = result.run(b, "halt");
+        if (!busy.hasData() || !halted.hasData()) {
+            std::cout << std::left << std::setw(10)
+                      << benchmarkName(b) << "(no data)" << '\n';
+            continue;
+        }
 
         double busy_idle =
             busy.breakdown.modeEnergyJ(ExecMode::Idle);
@@ -70,6 +75,11 @@ main(int argc, char **argv)
     std::cout << "\n=== Extension 2: conditional clocking ablation "
                  "===\n\n";
     const BenchmarkRun &run = result.run(Benchmark::Jess, "busy");
+    if (!run.hasData()) {
+        std::cout << "(no data: jess/busy ended "
+                  << runOutcomeName(run.result.outcome) << ")\n";
+        return result.exitCode();
+    }
     PowerCalculator gated(run.system->powerModel(), true);
     PowerCalculator always(run.system->powerModel(), false);
     double e_gated =
@@ -90,6 +100,11 @@ main(int argc, char **argv)
               << "peak (W)" << '\n';
     for (Benchmark b : allBenchmarks) {
         const BenchmarkRun &r = result.run(b, "busy");
+        if (!r.hasData()) {
+            std::cout << std::left << std::setw(10)
+                      << benchmarkName(b) << "(no data)" << '\n';
+            continue;
+        }
         PowerTrace trace = r.system->powerTrace();
         double avg = r.breakdown.cpuMemEnergyJ() /
                      r.breakdown.seconds();
@@ -98,5 +113,5 @@ main(int argc, char **argv)
                   << std::setprecision(2) << avg << std::setw(12)
                   << peakWindowPowerW(trace) << '\n';
     }
-    return 0;
+    return result.exitCode();
 }

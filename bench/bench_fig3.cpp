@@ -36,6 +36,13 @@ main(int argc, char **argv)
               << " on the single-issue (Mipsy) model ===\n\n";
     ExperimentResult result = runExperiment(spec);
     const BenchmarkRun &run = result.at(0);
+    if (!run.hasData()) {
+        std::cout << "(no data: " << run.name << " ended "
+                  << runOutcomeName(run.result.outcome)
+                  << (run.error.empty() ? "" : ": " + run.error)
+                  << ")\n";
+        return result.exitCode();
+    }
     System &sys = *run.system;
     double freq = result.freqHz();
 
@@ -59,5 +66,5 @@ main(int argc, char **argv)
     std::cout << "  memory subsystem   : " << memory_subsystem
               << " W (" << memory_subsystem / datapath
               << "x the datapath; paper: > 2x)\n";
-    return 0;
+    return result.exitCode();
 }

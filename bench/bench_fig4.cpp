@@ -34,7 +34,15 @@ main(int argc, char **argv)
     std::cout << "=== Figure 4: " << bench_name
               << " on the superscalar (MXS) model ===\n\n";
     ExperimentResult result = runExperiment(spec);
-    System &sys = *result.at(0).system;
+    const BenchmarkRun &run = result.at(0);
+    if (!run.hasData()) {
+        std::cout << "(no data: " << run.name << " ended "
+                  << runOutcomeName(run.result.outcome)
+                  << (run.error.empty() ? "" : ": " + run.error)
+                  << ")\n";
+        return result.exitCode();
+    }
+    System &sys = *run.system;
 
     PowerTrace trace = sys.powerTrace();
     printTimeProfile(std::cout,
@@ -46,5 +54,5 @@ main(int argc, char **argv)
     std::cout << "\nRun summary: " << sys.now() << " cycles, IPC "
               << sys.cpu().ipc() << ", branch accuracy "
               << sys.cpu().predictor().accuracy() << "\n";
-    return 0;
+    return result.exitCode();
 }

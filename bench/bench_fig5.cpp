@@ -35,5 +35,5 @@ main(int argc, char **argv)
     std::cout << "\nPaper reference: Disk 34%, L1 I-Cache ~22%, "
                  "Clock ~22%, Datapath ~15%, Memory ~6%, others "
                  "<1%.\n";
-    return 0;
+    return result.exitCode();
 }

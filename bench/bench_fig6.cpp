@@ -33,5 +33,5 @@ main(int argc, char **argv)
                    averageBreakdowns(result.breakdowns()));
     std::cout << "\nPaper shape: user > sync > kernel > idle; "
                  "L1 I-cache and clock dominate in every mode.\n";
-    return 0;
+    return result.exitCode();
 }

@@ -42,5 +42,5 @@ main(int argc, char **argv)
               << " % (conventional) -> "
               << avg_managed.componentSharePct(Component::Disk)
               << " % (IDLE-capable).  Paper: 34 % -> 23 %.\n";
-    return 0;
+    return result.exitCode();
 }

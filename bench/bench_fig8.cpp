@@ -33,5 +33,5 @@ main(int argc, char **argv)
                       result.freqHz());
     std::cout << "\nPaper shape: utlb ~3.5 W (lowest), read ~5.5 W, "
                  "demand_zero ~5 W, cacheflush ~4.5 W.\n";
-    return 0;
+    return result.exitCode();
 }

@@ -76,11 +76,16 @@ main(int argc, char **argv)
     for (Benchmark b : allBenchmarks) {
         std::cout << std::left << std::setw(10) << benchmarkName(b);
         for (const ConfigRow &c : configs) {
-            const BenchmarkRun &run = result.run(b, c.variant);
+            const BenchmarkRun *run = result.find(b, c.variant);
+            if (!run || !run->hasData()) {
+                std::cout << std::right << std::setw(22)
+                          << "(no data)";
+                continue;
+            }
             double energy =
                 c.disk.kind == DiskConfigKind::Conventional
-                    ? run.system->diskEnergyConventionalJ()
-                    : run.system->diskEnergyJ();
+                    ? run->system->diskEnergyConventionalJ()
+                    : run->system->diskEnergyJ();
             std::cout << std::right << std::setw(20) << std::fixed
                       << std::setprecision(2) << energy << " J";
         }
@@ -96,8 +101,13 @@ main(int argc, char **argv)
     for (Benchmark b : allBenchmarks) {
         std::cout << std::left << std::setw(10) << benchmarkName(b);
         for (const ConfigRow &c : configs) {
-            const BenchmarkRun &run = result.run(b, c.variant);
-            double idle = double(run.system->totals().get(
+            const BenchmarkRun *run = result.find(b, c.variant);
+            if (!run || !run->hasData()) {
+                std::cout << std::right << std::setw(22)
+                          << "(no data)";
+                continue;
+            }
+            double idle = double(run->system->totals().get(
                 ExecMode::Idle, CounterId::Cycles));
             std::cout << std::right << std::setw(22)
                       << std::scientific << std::setprecision(3)
@@ -105,5 +115,5 @@ main(int argc, char **argv)
         }
         std::cout << '\n';
     }
-    return 0;
+    return result.exitCode();
 }

@@ -75,5 +75,5 @@ main(int argc, char **argv)
     std::cout << "\nPaper shape: user energy share exceeds its cycle "
                  "share; kernel and idle energy shares fall below "
                  "their cycle shares.\n";
-    return 0;
+    return result.exitCode();
 }

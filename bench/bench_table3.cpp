@@ -38,5 +38,5 @@ main(int argc, char **argv)
                  "kernel ~1.1, sync ~1.55, idle ~0.8; dL1 user ~0.62, "
                  "kernel ~0.2, sync ~0.17, idle ~0.37; ALU 0.76 / "
                  "0.42 / 0.59 / 0.26.\n";
-    return 0;
+    return result.exitCode();
 }

@@ -32,6 +32,12 @@ main(int argc, char **argv)
     ExperimentResult result = runExperiment(spec);
     for (std::size_t i = 0; i < result.size(); ++i) {
         const BenchmarkRun &run = result.at(i);
+        if (!run.hasData()) {
+            std::cout << run.name << ": (no data: "
+                      << runOutcomeName(run.result.outcome)
+                      << ")\n\n";
+            continue;
+        }
         std::array<ServiceStats, numServices> stats{};
         for (ServiceKind kind : allServices)
             stats[int(kind)] = run.system->kernel().serviceStats(kind);
@@ -40,5 +46,5 @@ main(int argc, char **argv)
     }
     std::cout << "Paper shape: utlb leads cycles in every benchmark "
                  "(64-81 %) with energy share below cycle share.\n";
-    return 0;
+    return result.exitCode();
 }

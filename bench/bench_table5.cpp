@@ -49,5 +49,5 @@ main(int argc, char **argv)
               << " %; min(CoD read, open) = " << external
               << " %.\nPaper shape: internal services vary far less "
                  "than I/O syscalls (0.14-2.5 % vs 6.6-10.7 %).\n";
-    return 0;
+    return result.exitCode();
 }

@@ -38,6 +38,12 @@ main(int argc, char **argv)
 
     // Calibration on jess; the suite's other five are predicted.
     const BenchmarkRun &calib = result.run(Benchmark::Jess);
+    if (!calib.hasData()) {
+        std::cout << "(no data: calibration run on jess ended "
+                  << runOutcomeName(calib.result.outcome)
+                  << "; cannot estimate)\n";
+        return result.exitCode();
+    }
     std::array<double, numServices> mean_energy{};
     for (ServiceKind kind : allServices) {
         mean_energy[int(kind)] =
@@ -54,6 +60,11 @@ main(int argc, char **argv)
          {Benchmark::Compress, Benchmark::Db, Benchmark::Javac,
           Benchmark::Mtrt, Benchmark::Jack}) {
         const BenchmarkRun &run = result.run(b);
+        if (!run.hasData()) {
+            std::cout << std::left << std::setw(10) << run.name
+                      << "(no data)" << '\n';
+            continue;
+        }
         double detailed = 0, estimated = 0;
         for (ServiceKind kind : allServices) {
             const ServiceStats &s =
@@ -76,5 +87,5 @@ main(int argc, char **argv)
     }
     std::cout << "\nWorst absolute error: " << worst
               << " %  (paper claim: ~10 % margin)\n";
-    return 0;
+    return result.exitCode();
 }

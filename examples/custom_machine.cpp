@@ -81,6 +81,14 @@ main(int argc, char **argv)
 
     const BenchmarkRun &base = result.run(bench, "table1");
     const BenchmarkRun &custom = result.run(bench, "custom");
+    if (!base.hasData() || !custom.hasData()) {
+        std::cout << "(no data: a " << bench_name << " run ended "
+                  << runOutcomeName(
+                         (base.hasData() ? custom : base)
+                             .result.outcome)
+                  << "; skipping the comparison)\n";
+        return result.exitCode();
+    }
     RunSummary base_summary = summarize(base);
     RunSummary custom_summary = summarize(custom);
 
@@ -109,5 +117,5 @@ main(int argc, char **argv)
               << " -> "
               << custom.system->hierarchy().icache().missRatio()
               << "\n";
-    return 0;
+    return result.exitCode();
 }

@@ -70,6 +70,13 @@ main(int argc, char **argv)
               << '\n';
     for (std::size_t i = 0; i < result.size(); ++i) {
         const BenchmarkRun &run = result.at(i);
+        if (!run.hasData()) {
+            std::cout << std::left << std::setw(24) << labels[i]
+                      << "(no data: "
+                      << runOutcomeName(run.result.outcome)
+                      << ")\n";
+            continue;
+        }
         double seconds = double(run.system->now()) /
                          run.system->powerModel()
                              .technology()
@@ -87,5 +94,5 @@ main(int argc, char **argv)
                  "disk-quiet gaps are much longer than\nthe threshold "
                  "plus the 5 s spin-up; shorter gaps buy the spin-up "
                  "energy AND the stall.\n";
-    return 0;
+    return result.exitCode();
 }

@@ -68,6 +68,14 @@ main(int argc, char **argv)
     for (std::size_t i = 0; i < result.size(); ++i) {
         const OperatingPoint &point = points[i];
         const BenchmarkRun &run = result.at(i);
+        if (!run.hasData()) {
+            std::cout << std::right << std::setw(8) << std::fixed
+                      << std::setprecision(0) << point.mhz
+                      << "  (no data: "
+                      << runOutcomeName(run.result.outcome)
+                      << ")\n";
+            continue;
+        }
         double seconds = double(run.system->now()) /
                          (point.mhz * 1e6);
         double energy = run.breakdown.cpuMemEnergyJ();
@@ -91,5 +99,5 @@ main(int argc, char **argv)
                  "timing is expressed in wall-clock seconds, so "
                  "slower clocks also change the compute/disk "
                  "overlap, as they would in a real system.\n";
-    return 0;
+    return result.exitCode();
 }

@@ -84,6 +84,14 @@ main(int argc, char **argv)
         double base_cycles = 0;
         for (double rate : rates) {
             const BenchmarkRun &run = result.at(idx++);
+            if (!run.hasData()) {
+                std::cout << std::left << std::setw(14)
+                          << policy.label << std::setw(8) << rate
+                          << "  (no data: "
+                          << runOutcomeName(run.result.outcome)
+                          << ")\n";
+                continue;
+            }
             const System &sys = *run.system;
             const Kernel &kernel = sys.kernel();
             const ServiceStats &recovery =
@@ -121,5 +129,5 @@ main(int argc, char **argv)
                  "re-executed seeks and transfers. Rows that read "
                  "io-failed hit the bounded-retry\ngive-up (see "
                  "disk.retry.max_attempts).\n";
-    return 0;
+    return result.exitCode();
 }

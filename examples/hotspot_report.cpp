@@ -35,6 +35,13 @@ main(int argc, char **argv)
 
     ExperimentResult result = runExperiment(spec);
     const BenchmarkRun &run = result.at(0);
+    if (!run.hasData()) {
+        std::cout << "(no data: " << run.name << " ended "
+                  << runOutcomeName(run.result.outcome)
+                  << (run.error.empty() ? "" : ": " + run.error)
+                  << ")\n";
+        return result.exitCode();
+    }
     System &sys = *run.system;
     double freq = sys.powerModel().technology().freqHz();
 
@@ -119,5 +126,5 @@ main(int argc, char **argv)
                   << " s : " << std::setprecision(2)
                   << window_power(order[i]) << " W\n";
     }
-    return 0;
+    return result.exitCode();
 }

@@ -41,6 +41,13 @@ main(int argc, char **argv)
 
     ExperimentResult result = runExperiment(spec);
     const BenchmarkRun &run = result.at(0);
+    if (!run.hasData()) {
+        std::cout << "(no data: " << run.name << " ended "
+                  << runOutcomeName(run.result.outcome)
+                  << (run.error.empty() ? "" : ": " + run.error)
+                  << ")\n";
+        return result.exitCode();
+    }
     System &sys = *run.system;
 
     double freq = sys.powerModel().technology().freqHz();
@@ -100,5 +107,5 @@ main(int argc, char **argv)
         sys.log().writeCsv(csv);
         std::cout << "\nSample log written to " << csv_path << "\n";
     }
-    return 0;
+    return result.exitCode();
 }

@@ -11,11 +11,22 @@ namespace softwatt
 BenchmarkRun
 runBenchmark(Benchmark bench, const SystemConfig &config, double scale)
 {
+    return runBenchmark(bench, config, scale, RunOptions{});
+}
+
+BenchmarkRun
+runBenchmark(Benchmark bench, const SystemConfig &config, double scale,
+             const RunOptions &options)
+{
     BenchmarkRun run;
     run.bench = bench;
     run.name = benchmarkName(bench);
     run.scale = scale;
     run.system = std::make_unique<System>(config);
+    if (options.cancel)
+        run.system->setCancelToken(options.cancel);
+    if (options.forceInvariants)
+        run.system->invariants().setEnabled(true);
 
     WorkloadSpec spec = benchmarkSpec(bench);
     if (scale != 1.0)
@@ -54,7 +65,15 @@ usageText(const char *argv0)
                     "  runner keys: jobs=N (worker threads, "
                     "default hardware concurrency),\n"
                     "               out=results.json (structured "
-                    "results document)";
+                    "results document),\n"
+                    "               deadline_s=T (per-run budget in "
+                    "simulated seconds, 0 = off),\n"
+                    "               resume=1 (replay "
+                    "<out>.journal.jsonl, skip finished runs),\n"
+                    "               grace_s=T (post-SIGINT budget "
+                    "for in-flight runs, 0 = finish),\n"
+                    "               diagnose=1 (rerun failed specs "
+                    "once with invariant sweeps)";
 }
 
 bool

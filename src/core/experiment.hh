@@ -28,16 +28,54 @@ struct BenchmarkRun
     /** Workload scale the run executed at. */
     double scale = 1.0;
 
+    /**
+     * Live simulation state. Null for a run that Failed inside the
+     * exception firewall (nothing survived the throw) and for a run
+     * replayed from a resume journal (only its JSON survived); use
+     * hasData() before touching system-derived statistics.
+     */
     std::unique_ptr<System> system;
 
     /** How the run ended; breakdowns are partial when not ok(). */
     RunResult result;
+
+    /** Executor attempts consumed (2 after a diagnostic rerun). */
+    int attempts = 1;
+
+    /** What the firewall caught for a Failed run; "" otherwise. */
+    std::string error;
+
+    /**
+     * Pre-rendered run-object JSON replayed from the journal; ""
+     * for runs executed in this process.
+     */
+    std::string restoredJson;
 
     /** Totals priced with the run's own disk configuration. */
     PowerBreakdown breakdown;
 
     /** Same run re-priced as the conventional (unmanaged) disk. */
     PowerBreakdown conventional;
+
+    /** True when live simulation state is attached. */
+    bool hasData() const { return system != nullptr; }
+
+    /** True for a run replayed from a resume journal. */
+    bool restored() const { return !restoredJson.empty(); }
+};
+
+/** Optional knobs for runBenchmark (the experiment runner's hooks). */
+struct RunOptions
+{
+    /** Cooperative-cancellation token polled at window boundaries. */
+    const CancelToken *cancel = nullptr;
+
+    /**
+     * Diagnostic mode: force the runtime invariant sweeps on (even
+     * in builds where they default off) so a rerun of a failed spec
+     * pinpoints which contract broke first.
+     */
+    bool forceInvariants = false;
 };
 
 /**
@@ -50,6 +88,10 @@ struct BenchmarkRun
  */
 BenchmarkRun runBenchmark(Benchmark bench, const SystemConfig &config,
                           double scale = 1.0);
+
+/** runBenchmark with runner hooks (cancellation, diagnostics). */
+BenchmarkRun runBenchmark(Benchmark bench, const SystemConfig &config,
+                          double scale, const RunOptions &options);
 
 /** Average of breakdowns (used for the suite-wide Figs. 5-7). */
 PowerBreakdown averageBreakdowns(

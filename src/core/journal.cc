@@ -1,0 +1,346 @@
+#include "journal.hh"
+
+#include <charconv>
+#include <cstdint>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+#include "json_writer.hh"
+
+namespace softwatt
+{
+
+namespace
+{
+
+/**
+ * FNV-1a over a canonical field serialization. Doubles go through
+ * std::to_chars (shortest round-trip, locale-free), so the stream —
+ * and therefore the fingerprint — is identical across hosts.
+ */
+class Fingerprint
+{
+  public:
+    Fingerprint &
+    operator<<(const std::string &text)
+    {
+        for (char c : text)
+            mix(std::uint8_t(c));
+        mix(0x1f);  // field separator: "ab"+"c" != "a"+"bc"
+        return *this;
+    }
+
+    Fingerprint &
+    operator<<(const char *text)
+    {
+        return *this << std::string(text);
+    }
+
+    Fingerprint &
+    operator<<(double value)
+    {
+        char buf[64];
+        auto [end, ec] =
+            std::to_chars(buf, buf + sizeof(buf), value);
+        if (ec != std::errc())
+            panic("specFingerprint: double conversion failed");
+        return *this << std::string(buf, end);
+    }
+
+    Fingerprint &
+    operator<<(std::uint64_t value)
+    {
+        for (int shift = 0; shift < 64; shift += 8)
+            mix(std::uint8_t(value >> shift));
+        mix(0x1f);
+        return *this;
+    }
+
+    Fingerprint &
+    operator<<(std::int64_t value)
+    {
+        return *this << std::uint64_t(value);
+    }
+
+    Fingerprint &
+    operator<<(int value)
+    {
+        return *this << std::uint64_t(std::int64_t(value));
+    }
+
+    Fingerprint &
+    operator<<(bool value)
+    {
+        mix(value ? 1 : 0);
+        mix(0x1f);
+        return *this;
+    }
+
+    std::string
+    hex() const
+    {
+        static const char digits[] = "0123456789abcdef";
+        std::string text(16, '0');
+        for (int i = 0; i < 16; ++i)
+            text[i] = digits[(state >> (60 - 4 * i)) & 0xf];
+        return text;
+    }
+
+  private:
+    void
+    mix(std::uint8_t byte)
+    {
+        state ^= byte;
+        state *= 0x100000001b3ull;
+    }
+
+    std::uint64_t state = 0xcbf29ce484222325ull;
+};
+
+Fingerprint &
+operator<<(Fingerprint &fp, const CacheParams &cache)
+{
+    return fp << std::uint64_t(cache.sizeBytes) << cache.lineBytes
+              << cache.ways << cache.hitLatency;
+}
+
+/** JSON string-literal unescape for our own writer's escapes. */
+bool
+unescapeJson(const std::string &text, std::string &out)
+{
+    out.clear();
+    out.reserve(text.size());
+    for (std::size_t i = 0; i < text.size(); ++i) {
+        char c = text[i];
+        if (c != '\\') {
+            out.push_back(c);
+            continue;
+        }
+        if (++i >= text.size())
+            return false;
+        switch (text[i]) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          case 'u': {
+            if (i + 4 >= text.size())
+                return false;
+            unsigned value = 0;
+            for (int k = 0; k < 4; ++k) {
+                char h = text[++i];
+                value <<= 4;
+                if (h >= '0' && h <= '9')
+                    value |= unsigned(h - '0');
+                else if (h >= 'a' && h <= 'f')
+                    value |= unsigned(h - 'a' + 10);
+                else if (h >= 'A' && h <= 'F')
+                    value |= unsigned(h - 'A' + 10);
+                else
+                    return false;
+            }
+            if (value > 0x7f)
+                return false;  // our writer only emits \u00xx
+            out.push_back(char(value));
+            break;
+          }
+          default:
+            return false;
+        }
+    }
+    return true;
+}
+
+/**
+ * Find `"key":` at the top level of one compact journal line and
+ * extract its JSON string value (unescaped). Escaped quotes inside
+ * string values can never produce the `"key":` byte sequence, so a
+ * plain substring search is exact for this self-generated format.
+ */
+bool
+extractString(const std::string &line, const std::string &key,
+              std::string &out)
+{
+    std::string needle = "\"" + key + "\":";
+    std::size_t pos = line.find(needle);
+    if (pos == std::string::npos)
+        return false;
+    pos += needle.size();
+    if (pos >= line.size() || line[pos] != '"')
+        return false;
+    std::size_t cursor = pos + 1;
+    while (cursor < line.size() && line[cursor] != '"') {
+        if (line[cursor] == '\\')
+            ++cursor;
+        ++cursor;
+    }
+    if (cursor >= line.size())
+        return false;  // unterminated: a torn line
+    return unescapeJson(
+        line.substr(pos + 1, cursor - pos - 1), out);
+}
+
+bool
+extractInt(const std::string &line, const std::string &key,
+           int &out)
+{
+    std::string needle = "\"" + key + "\":";
+    std::size_t pos = line.find(needle);
+    if (pos == std::string::npos)
+        return false;
+    pos += needle.size();
+    std::size_t end = pos;
+    while (end < line.size() &&
+           (line[end] == '-' ||
+            (line[end] >= '0' && line[end] <= '9'))) {
+        ++end;
+    }
+    auto [ptr, ec] = std::from_chars(line.data() + pos,
+                                     line.data() + end, out);
+    return ec == std::errc() && ptr == line.data() + end &&
+           end > pos;
+}
+
+constexpr const char *journalSchema = "softwatt-journal-v1";
+
+} // namespace
+
+std::string
+specFingerprint(const RunSpec &spec)
+{
+    Fingerprint fp;
+    fp << benchmarkName(spec.bench) << spec.variant << spec.scale;
+
+    const SystemConfig &c = spec.config;
+    const MachineParams &m = c.machine;
+    fp << m.instWindowSize << m.intRegs << m.fpRegs << m.lsqSize
+       << m.fetchWidth << m.decodeWidth << m.issueWidth
+       << m.commitWidth << m.intAlus << m.fpAlus << m.bhtEntries
+       << m.btbEntries << m.rasEntries
+       << std::uint64_t(m.memorySizeBytes) << m.icache << m.dcache
+       << m.l2cache << m.tlbEntries << m.memoryLatency
+       << m.pageBytes << m.featureSizeUm << m.vdd << m.freqMhz;
+
+    fp << int(c.cpuModel) << int(c.diskConfig.kind)
+       << c.diskConfig.spindownThresholdSeconds;
+    const DiskFaultConfig &f = c.diskConfig.fault;
+    fp << f.enabled << f.transientErrorRate << f.seekErrorRate
+       << f.spinupFailureRate << f.windowStartSeconds
+       << f.windowEndSeconds << std::uint64_t(f.seed);
+
+    const Kernel::Params &k = c.kernelParams;
+    fp << k.tlbSlowPathProb << k.vfaultProb << k.clockTickSeconds
+       << k.timeScale << std::uint64_t(k.fileCacheBlocks)
+       << k.haltOnIdle << std::uint64_t(k.seed);
+    const ServiceTuning &t = k.tuning;
+    fp << std::uint64_t(t.utlbLength)
+       << std::uint64_t(t.tlbMissLength)
+       << std::uint64_t(t.vfaultLength)
+       << std::uint64_t(t.demandZeroLength)
+       << std::uint64_t(t.cacheflushLength)
+       << std::uint64_t(t.openLength)
+       << std::uint64_t(t.openSyncLength)
+       << std::uint64_t(t.xstatLength)
+       << std::uint64_t(t.duPollLength)
+       << std::uint64_t(t.bsdLength)
+       << std::uint64_t(t.clockLength)
+       << std::uint64_t(t.clockSyncLength)
+       << std::uint64_t(t.ioSyncLength)
+       << std::uint64_t(t.ioSetupLength)
+       << std::uint64_t(t.ioFinishLength)
+       << std::uint64_t(t.errorRecoveryLength)
+       << std::uint64_t(t.errorRecoverySyncLength)
+       << t.openMetadataMissProb;
+    fp << k.diskRetry.maxAttempts << k.diskRetry.backoffSeconds
+       << k.diskRetry.backoffMultiplier;
+
+    fp << c.timeScale << std::uint64_t(c.sampleWindow)
+       << c.useCalibratedPower
+       << std::uint64_t(c.idleFastForwardAfter)
+       << std::uint64_t(c.maxCycles) << c.clockInterrupts
+       << c.deadlineSeconds << c.shutdownGraceSeconds;
+
+    return fp.hex();
+}
+
+std::string
+journalPathFor(const std::string &json_path)
+{
+    return json_path + ".journal.jsonl";
+}
+
+bool
+RunJournal::open(const std::string &path, bool truncate)
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    out.open(path, truncate ? std::ios::trunc : std::ios::app);
+    return out.is_open();
+}
+
+void
+RunJournal::append(const JournalEntry &entry)
+{
+    std::ostringstream line;
+    {
+        JsonWriter json(line, 0);
+        json.beginObject();
+        json.member("schema", journalSchema);
+        json.member("experiment", entry.experiment);
+        json.member("bench", entry.bench);
+        json.member("variant", entry.variant);
+        json.member("config", entry.config);
+        json.member("outcome", entry.outcome);
+        json.member("attempts", entry.attempts);
+        json.member("run", entry.runJson);
+        json.endObject();
+    }
+    std::lock_guard<std::mutex> lock(mutex);
+    if (!out.is_open())
+        panic("RunJournal: append on a closed journal");
+    // One write + flush per entry: a killed sweep tears at most the
+    // final line, which load() detects and skips.
+    out << line.str() << '\n' << std::flush;
+}
+
+std::vector<JournalEntry>
+RunJournal::load(const std::string &path)
+{
+    std::vector<JournalEntry> entries;
+    std::ifstream in(path);
+    if (!in)
+        return entries;
+
+    std::string line;
+    int lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        if (line.empty())
+            continue;
+        JournalEntry entry;
+        std::string schema;
+        bool ok = line.front() == '{' && line.back() == '}' &&
+                  extractString(line, "schema", schema) &&
+                  schema == journalSchema &&
+                  extractString(line, "experiment",
+                                entry.experiment) &&
+                  extractString(line, "bench", entry.bench) &&
+                  extractString(line, "variant", entry.variant) &&
+                  extractString(line, "config", entry.config) &&
+                  extractString(line, "outcome", entry.outcome) &&
+                  extractInt(line, "attempts", entry.attempts) &&
+                  extractString(line, "run", entry.runJson);
+        if (!ok) {
+            warn(msg() << "journal '" << path << "' line " << lineno
+                       << " is torn or unparseable; ignoring it "
+                       << "(the run will be re-executed)");
+            continue;
+        }
+        entries.push_back(std::move(entry));
+    }
+    return entries;
+}
+
+} // namespace softwatt

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Incremental result journaling for crash-resumable experiments.
+ *
+ * As each run of an experiment finishes, the runner appends one
+ * self-contained JSONL record to `<out>.journal.jsonl`:
+ *
+ *   {"schema":"softwatt-journal-v1","experiment":...,"bench":...,
+ *    "variant":...,"config":<fingerprint>,"outcome":...,
+ *    "attempts":N,"run":<escaped run-object text>}
+ *
+ * The `run` field holds the exact pretty-printed JSON object that
+ * writeJson() would emit for that run, so a resumed experiment can
+ * splice journaled runs into the final document byte-identical to an
+ * uninterrupted one. The `config` field is a 64-bit FNV-1a
+ * fingerprint of the complete run specification (benchmark, variant,
+ * scale and every SystemConfig field); resume only replays an entry
+ * whose (bench, variant, config) key still matches, so editing the
+ * sweep invalidates exactly the runs it changes.
+ *
+ * Each line is flushed as it is written: a SIGKILLed sweep loses at
+ * most the in-flight runs, and the reader skips a torn final line.
+ */
+
+#ifndef SOFTWATT_CORE_JOURNAL_HH
+#define SOFTWATT_CORE_JOURNAL_HH
+
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "runner.hh"
+
+namespace softwatt
+{
+
+/** One journaled (finished) run. */
+struct JournalEntry
+{
+    std::string experiment;
+    std::string bench;
+    std::string variant;
+    std::string config;   ///< specFingerprint() of the run's spec.
+    std::string outcome;  ///< runOutcomeName() at completion.
+    int attempts = 1;
+    std::string runJson;  ///< Standalone pretty run-object text.
+};
+
+/**
+ * Deterministic 64-bit fingerprint (16 hex digits) of everything
+ * that determines a run's results: benchmark, variant, scale, and
+ * the full SystemConfig.
+ */
+std::string specFingerprint(const RunSpec &spec);
+
+/** `<out>.journal.jsonl` for a given out= path. */
+std::string journalPathFor(const std::string &json_path);
+
+/**
+ * Append-side of the journal. Thread-safe: workers append entries
+ * as their runs finish; each line is written and flushed atomically
+ * under a mutex.
+ */
+class RunJournal
+{
+  public:
+    /**
+     * Open @p path for appending; @p truncate discards previous
+     * contents (a fresh, non-resumed experiment must not inherit
+     * stale entries). @return false if the file cannot be opened.
+     */
+    bool open(const std::string &path, bool truncate);
+
+    bool isOpen() const { return out.is_open(); }
+
+    /** Write one entry as a flushed JSONL line. */
+    void append(const JournalEntry &entry);
+
+    /**
+     * Parse a journal file. Torn or unparseable lines (a crash can
+     * tear at most the last one) are skipped with a warning. A
+     * missing file yields an empty vector.
+     */
+    static std::vector<JournalEntry>
+    load(const std::string &path);
+
+  private:
+    std::ofstream out;
+    std::mutex mutex;
+};
+
+} // namespace softwatt
+
+#endif // SOFTWATT_CORE_JOURNAL_HH

@@ -177,6 +177,22 @@ JsonWriter::valueNull()
 }
 
 void
+JsonWriter::rawValue(const std::string &text)
+{
+    if (text.empty())
+        panic("JsonWriter: rawValue with empty text");
+    beforeValue();
+    const std::string pad(stack.size() * std::size_t(
+                              indentWidth > 0 ? indentWidth : 0),
+                          ' ');
+    for (char c : text) {
+        out << c;
+        if (c == '\n')
+            out << pad;
+    }
+}
+
+void
 JsonWriter::writeEscaped(const std::string &text)
 {
     out << '"';

@@ -61,6 +61,16 @@ class JsonWriter
     void value(bool flag);
     void valueNull();
 
+    /**
+     * Splice pre-rendered JSON text in as one value. @p text must be
+     * a complete JSON value rendered standalone (nesting depth 0)
+     * with the same indent width as this writer; its inner lines are
+     * re-indented to the current depth. This is how journal-replayed
+     * run objects land in the final document byte-identical to
+     * freshly rendered ones.
+     */
+    void rawValue(const std::string &text);
+
     /** key(name) + value(v) in one call. */
     template <typename T>
     void

@@ -19,6 +19,20 @@ perCycle(const CounterBank &bank, ExecMode mode, CounterId id)
     return cycles ? double(bank.get(mode, id)) / double(cycles) : 0;
 }
 
+/**
+ * A failed or skipped run contributes an all-zero counter bank; its
+ * table row is rendered as a gap instead of a wall of zeros.
+ */
+bool
+isGap(const CounterBank &bank)
+{
+    for (ExecMode mode : allExecModes) {
+        if (bank.get(mode, CounterId::Cycles) != 0)
+            return false;
+    }
+    return true;
+}
+
 } // namespace
 
 std::string
@@ -95,6 +109,10 @@ printTable2(std::ostream &out, const std::vector<std::string> &names,
         double cycles = double(b.totalCycles());
         double energy = b.cpuMemEnergyJ();
         out << std::left << std::setw(10) << names[i];
+        if (cycles <= 0) {
+            out << "(no data)\n";
+            continue;
+        }
         for (ExecMode mode : allExecModes) {
             out << std::right << std::setw(8) << std::fixed
                 << std::setprecision(2)
@@ -124,6 +142,10 @@ printTable3(std::ostream &out, const std::vector<std::string> &names,
     out << '\n';
     for (std::size_t i = 0; i < names.size(); ++i) {
         out << std::left << std::setw(10) << names[i];
+        if (isGap(totals[i])) {
+            out << "(no data)\n";
+            continue;
+        }
         for (ExecMode mode : allExecModes) {
             out << std::right << std::setw(9) << std::fixed
                 << std::setprecision(4)
@@ -146,6 +168,10 @@ printAluUse(std::ostream &out, const std::vector<std::string> &names,
     out << '\n';
     for (std::size_t i = 0; i < names.size(); ++i) {
         out << std::left << std::setw(10) << names[i];
+        if (isGap(totals[i])) {
+            out << "(no data)\n";
+            continue;
+        }
         for (ExecMode mode : allExecModes) {
             double alu =
                 perCycle(totals[i], mode, CounterId::IntAluOp) +

@@ -1,15 +1,87 @@
 #include "runner.hh"
 
+#include <cstdio>
 #include <fstream>
 #include <future>
+#include <sstream>
+#include <utility>
 
+#include "sim/cancel.hh"
 #include "sim/logging.hh"
+#include "sim/signals.hh"
 #include "sim/thread_pool.hh"
 
+#include "journal.hh"
 #include "json_writer.hh"
 
 namespace softwatt
 {
+
+namespace
+{
+
+/**
+ * Fail fast on an unwritable out= destination. The probe opens in
+ * append mode — never truncating, because an existing file may be a
+ * resumable journal — and removes the file again only if it did not
+ * exist beforehand.
+ */
+void
+probeWritable(const std::string &path)
+{
+    bool existed = static_cast<bool>(std::ifstream(path));
+    std::ofstream probe(path, std::ios::app);
+    if (!probe) {
+        fatal(msg() << "config: cannot open '" << path
+                    << "' for writing");
+    }
+    probe.close();
+    if (!existed)
+        std::remove(path.c_str());
+}
+
+double
+nonNegativeSeconds(const Config &args, const std::string &key)
+{
+    double value = args.getDouble(key, 0.0);
+    if (!(value >= 0.0) || value > 1e18) {
+        fatal(msg() << "config: " << key
+                    << " must be a finite number of simulated "
+                    << "seconds >= 0 (got " << value << ")");
+    }
+    return value;
+}
+
+bool
+boolFlag(const Config &args, const std::string &key)
+{
+    std::int64_t value = args.getInt(key, 0);
+    if (value != 0 && value != 1) {
+        fatal(msg() << "config: " << key << " must be 0 or 1 (got "
+                    << value << ")");
+    }
+    return value == 1;
+}
+
+/** Restore the previous error handler even on exception paths. */
+class ScopedErrorHandler
+{
+  public:
+    explicit ScopedErrorHandler(ErrorHandler handler)
+        : previous(setErrorHandler(std::move(handler)))
+    {}
+
+    ~ScopedErrorHandler() { setErrorHandler(std::move(previous)); }
+
+    ScopedErrorHandler(const ScopedErrorHandler &) = delete;
+    ScopedErrorHandler &
+    operator=(const ScopedErrorHandler &) = delete;
+
+  private:
+    ErrorHandler previous;
+};
+
+} // namespace
 
 RunSpec &
 ExperimentSpec::add(Benchmark bench, const SystemConfig &config,
@@ -42,6 +114,18 @@ ExperimentSpec::fromArgs(const std::string &title, const Config &args)
         fatal(msg() << "config: jobs must be >= 0 (got " << spec.jobs
                     << "); 0 selects hardware concurrency");
     spec.jsonPath = args.getString("out", "");
+    spec.deadlineS = nonNegativeSeconds(args, "deadline_s");
+    spec.graceS = nonNegativeSeconds(args, "grace_s");
+    spec.resume = boolFlag(args, "resume");
+    spec.diagnose = boolFlag(args, "diagnose");
+    if (spec.resume && spec.jsonPath.empty()) {
+        fatal("config: resume=1 requires out= (the resume journal "
+              "lives next to the JSON document)");
+    }
+    if (!spec.jsonPath.empty()) {
+        probeWritable(spec.jsonPath);
+        probeWritable(journalPathFor(spec.jsonPath));
+    }
     return spec;
 }
 
@@ -65,13 +149,22 @@ const BenchmarkRun &
 ExperimentResult::run(Benchmark bench,
                       const std::string &variant) const
 {
-    for (const BenchmarkRun &r : results) {
-        if (r.bench == bench && r.variant == variant)
-            return r;
-    }
+    if (const BenchmarkRun *r = find(bench, variant))
+        return *r;
     fatal(msg() << "experiment '" << expTitle << "' has no run for "
                 << benchmarkName(bench) << " variant '" << variant
                 << "'");
+}
+
+const BenchmarkRun *
+ExperimentResult::find(Benchmark bench,
+                       const std::string &variant) const
+{
+    for (const BenchmarkRun &r : results) {
+        if (r.bench == bench && r.variant == variant)
+            return &r;
+    }
+    return nullptr;
 }
 
 std::vector<const BenchmarkRun *>
@@ -116,9 +209,13 @@ ExperimentResult::conventionalBreakdowns(
 std::vector<CounterBank>
 ExperimentResult::counterTotals(const std::string &variant) const
 {
+    // Dataless runs (failed/skipped/restored) contribute an all-zero
+    // bank so the vector stays aligned with names(); renderers show
+    // those rows as gaps.
     std::vector<CounterBank> totals;
     for (const BenchmarkRun *r : variantRuns(variant))
-        totals.push_back(r->system->totals());
+        totals.push_back(r->hasData() ? r->system->totals()
+                                      : CounterBank{});
     return totals;
 }
 
@@ -127,6 +224,8 @@ ExperimentResult::pooledServiceStats(const std::string &variant) const
 {
     std::array<ServiceStats, numServices> pooled{};
     for (const BenchmarkRun *r : variantRuns(variant)) {
+        if (!r->hasData())
+            continue;  // nothing survived to pool
         for (ServiceKind kind : allServices) {
             pooled[int(kind)].merge(
                 r->system->kernel().serviceStats(kind));
@@ -138,12 +237,30 @@ ExperimentResult::pooledServiceStats(const std::string &variant) const
 double
 ExperimentResult::freqHz() const
 {
-    if (results.empty())
-        return 200e6;
-    return results.front()
-        .system->powerModel()
-        .technology()
-        .freqHz();
+    for (const BenchmarkRun &r : results) {
+        if (r.hasData())
+            return r.system->powerModel().technology().freqHz();
+    }
+    return 200e6;
+}
+
+std::size_t
+ExperimentResult::failedRuns() const
+{
+    std::size_t count = 0;
+    for (const BenchmarkRun &r : results) {
+        if (r.result.outcome == RunOutcome::Failed)
+            ++count;
+    }
+    return count;
+}
+
+int
+ExperimentResult::exitCode() const
+{
+    if (wasInterrupted)
+        return 130;  // 128 + SIGINT, the conventional interrupt code
+    return failedRuns() > 0 ? 1 : 0;
 }
 
 namespace
@@ -220,14 +337,28 @@ writeServicesJson(JsonWriter &json, const System &sys)
 void
 writeRunJson(JsonWriter &json, const BenchmarkRun &run)
 {
-    const System &sys = *run.system;
     json.beginObject();
     json.member("bench", run.name);
     json.member("variant", run.variant);
     json.member("scale", run.scale);
     json.member("outcome", runOutcomeName(run.result.outcome));
-    if (!run.result.ok())
-        json.member("diagnostics", run.result.diagnostics);
+    json.member("attempts", run.attempts);
+    if (!run.hasData()) {
+        // Failed/skipped run: nothing survived past the firewall, so
+        // the record carries only identity, outcome, and the error.
+        json.member("wall_ms", 0.0);
+        json.member("error", run.error.empty()
+                                 ? run.result.diagnostics
+                                 : run.error);
+        json.endObject();
+        return;
+    }
+    const System &sys = *run.system;
+    // Simulated machine time, not host time: deterministic across
+    // hosts and jobs= settings.
+    json.member("wall_ms", run.breakdown.seconds() * 1e3);
+    json.member("error", run.result.ok() ? std::string()
+                                         : run.result.diagnostics);
     json.member("cycles", std::uint64_t(sys.now()));
     json.member("detailed_cycles",
                 std::uint64_t(sys.detailedCycles()));
@@ -261,19 +392,166 @@ writeRunJson(JsonWriter &json, const BenchmarkRun &run)
     json.endObject();
 }
 
-/** Run one spec entry and stamp the runner-level metadata. */
-BenchmarkRun
-runOne(const std::string &title, const RunSpec &spec)
+/**
+ * Render one run's pretty JSON object as standalone text. The same
+ * text is spliced into the final document (via JsonWriter::rawValue)
+ * and stored in the resume journal, so a restored run is
+ * byte-identical to a live one by construction.
+ */
+std::string
+renderRunJson(const BenchmarkRun &run)
 {
-    BenchmarkRun run =
-        runBenchmark(spec.bench, spec.config, spec.scale);
-    run.variant = spec.variant;
-    std::string label = run.name;
+    std::ostringstream text;
+    {
+        JsonWriter json(text);
+        writeRunJson(json, run);
+    }
+    return text.str();
+}
+
+std::string
+runLabel(const RunSpec &spec)
+{
+    std::string label = benchmarkName(spec.bench);
     if (!spec.variant.empty())
         label += "/" + spec.variant;
-    status(msg() << "[" << title << "] " << label << " done: "
-                 << run.system->now() << " cycles");
+    return label;
+}
+
+/** A run that died inside the firewall: identity + error only. */
+BenchmarkRun
+failedRun(const std::string &title, const RunSpec &spec,
+          const std::string &what)
+{
+    warn(msg() << "[" << title << "] " << runLabel(spec)
+               << " failed inside the run firewall: " << what);
+    BenchmarkRun run;
+    run.bench = spec.bench;
+    run.name = benchmarkName(spec.bench);
+    run.variant = spec.variant;
+    run.scale = spec.scale;
+    run.result.outcome = RunOutcome::Failed;
+    run.result.diagnostics = what;
+    run.error = what;
     return run;
+}
+
+/** A run skipped because shutdown drained the queue first. */
+BenchmarkRun
+skippedRun(const RunSpec &spec)
+{
+    BenchmarkRun run;
+    run.bench = spec.bench;
+    run.name = benchmarkName(spec.bench);
+    run.variant = spec.variant;
+    run.scale = spec.scale;
+    run.result.outcome = RunOutcome::Cancelled;
+    run.result.diagnostics = "cancelled before start (shutdown drain)";
+    run.error = run.result.diagnostics;
+    return run;
+}
+
+/** A run replayed from the resume journal: only its JSON survives. */
+BenchmarkRun
+restoredRun(const std::string &title, const RunSpec &spec,
+            const JournalEntry &entry)
+{
+    BenchmarkRun run;
+    run.bench = spec.bench;
+    run.name = benchmarkName(spec.bench);
+    run.variant = spec.variant;
+    run.scale = spec.scale;
+    run.attempts = entry.attempts;
+    run.restoredJson = entry.runJson;
+    RunOutcome outcome = RunOutcome::Completed;
+    if (runOutcomeFromName(entry.outcome, outcome)) {
+        run.result.outcome = outcome;
+    } else {
+        warn(msg() << "journal entry for " << runLabel(spec)
+                   << " has unknown outcome '" << entry.outcome
+                   << "'; treating it as completed");
+    }
+    if (!run.result.ok())
+        run.result.diagnostics = "(restored from journal)";
+    if (run.result.outcome == RunOutcome::Failed)
+        run.error = run.result.diagnostics;
+    status(msg() << "[" << title << "] " << runLabel(spec)
+                 << " restored from journal (" << entry.outcome
+                 << ")");
+    return run;
+}
+
+/**
+ * Execute one spec entry behind the exception firewall: a throw
+ * (SimError from fatal()/panic(), or anything std::exception-derived
+ * from the model) becomes a Failed run record instead of taking the
+ * whole experiment down.
+ */
+BenchmarkRun
+runProtected(const std::string &title, const RunSpec &spec,
+             const CancelToken &token, bool forceInvariants = false)
+{
+    RunOptions options;
+    options.cancel = &token;
+    options.forceInvariants = forceInvariants;
+    try {
+        if (!spec.injectFailure.empty())
+            throw SimError(ErrorKind::Fatal, spec.injectFailure);
+        BenchmarkRun run =
+            runBenchmark(spec.bench, spec.config, spec.scale,
+                         options);
+        run.variant = spec.variant;
+        status(msg() << "[" << title << "] " << runLabel(spec)
+                     << " done: " << run.system->now()
+                     << " cycles");
+        return run;
+    } catch (const SimError &e) {
+        return failedRun(title, spec, e.what());
+    } catch (const std::exception &e) {
+        return failedRun(title, spec, e.what());
+    }
+}
+
+/**
+ * One-shot diagnostic rerun of a Failed spec: invariant sweeps
+ * forced on, verbose logging, serial. The rerun replaces the failed
+ * record (attempts=2); if it fails again the two errors are joined.
+ */
+void
+diagnoseRun(const std::string &title, const RunSpec &spec,
+            const CancelToken &token, BenchmarkRun &into)
+{
+    status(msg() << "[" << title << "] diagnostic rerun of "
+                 << runLabel(spec)
+                 << " (invariant sweeps forced on)");
+    LogLevel saved = logLevel();
+    setLogLevel(LogLevel::Verbose);
+    BenchmarkRun retry = runProtected(title, spec, token,
+                                      /*forceInvariants=*/true);
+    setLogLevel(saved);
+    retry.attempts = 2;
+    if (retry.result.outcome == RunOutcome::Failed &&
+        retry.error != into.error) {
+        retry.error =
+            into.error + "; diagnostic rerun: " + retry.error;
+        retry.result.diagnostics = retry.error;
+    }
+    into = std::move(retry);
+}
+
+JournalEntry
+makeEntry(const std::string &title, const RunSpec &spec,
+          const std::string &fingerprint, const BenchmarkRun &run)
+{
+    JournalEntry entry;
+    entry.experiment = title;
+    entry.bench = benchmarkName(spec.bench);
+    entry.variant = spec.variant;
+    entry.config = fingerprint;
+    entry.outcome = runOutcomeName(run.result.outcome);
+    entry.attempts = run.attempts;
+    entry.runJson = renderRunJson(run);
+    return entry;
 }
 
 } // namespace
@@ -283,12 +561,17 @@ ExperimentResult::writeJson(std::ostream &out) const
 {
     JsonWriter json(out);
     json.beginObject();
-    json.member("schema", "softwatt-experiment-v1");
+    json.member("schema", "softwatt-experiment-v2");
     json.member("experiment", expTitle);
+    json.member("interrupted", wasInterrupted);
     json.key("runs");
     json.beginArray();
-    for (const BenchmarkRun &run : results)
-        writeRunJson(json, run);
+    for (const BenchmarkRun &run : results) {
+        // Restored runs splice their journaled text; live runs are
+        // rendered through the exact same path the journal used.
+        json.rawValue(run.restored() ? run.restoredJson
+                                     : renderRunJson(run));
+    }
     json.endArray();
     json.endObject();
     out << '\n';
@@ -299,35 +582,170 @@ runExperiment(const ExperimentSpec &spec)
 {
     ExperimentResult result;
     result.expTitle = spec.title;
-    result.specs = spec.runs;
+
+    // Fold the spec-level deadline/grace budgets into each run's
+    // config up front, so the executed run, its fingerprint, and the
+    // journal all see the same effective configuration.
+    std::vector<RunSpec> runs = spec.runs;
+    for (RunSpec &rs : runs) {
+        if (spec.deadlineS > 0.0 && rs.config.deadlineSeconds <= 0.0)
+            rs.config.deadlineSeconds = spec.deadlineS;
+        if (spec.graceS > 0.0 &&
+            rs.config.shutdownGraceSeconds <= 0.0)
+            rs.config.shutdownGraceSeconds = spec.graceS;
+    }
+    result.specs = runs;
 
     unsigned jobs = spec.jobs <= 0 ? ThreadPool::defaultThreads()
                                    : unsigned(spec.jobs);
-    if (jobs > spec.runs.size())
-        jobs = unsigned(spec.runs.size());
+    if (jobs > runs.size())
+        jobs = unsigned(runs.size());
     if (jobs == 0)
         jobs = 1;
     result.workerCount = int(jobs);
 
-    result.results.reserve(spec.runs.size());
+    // Cancellation plumbing: SIGINT/SIGTERM escalate the token
+    // (Live -> Drain -> Hard) for the experiment's duration.
+    CancelToken localToken;
+    CancelToken &token = spec.cancel ? *spec.cancel : localToken;
+    SignalGuard signalGuard(token);
+
+    std::vector<std::string> prints;
+    prints.reserve(runs.size());
+    for (const RunSpec &rs : runs)
+        prints.push_back(specFingerprint(rs));
+
+    const std::string journalPath =
+        spec.jsonPath.empty() ? std::string()
+                              : journalPathFor(spec.jsonPath);
+
+    std::vector<JournalEntry> journaled;
+    if (spec.resume) {
+        if (journalPath.empty()) {
+            fatal("resume=1 requires out= (the resume journal lives "
+                  "next to the JSON document)");
+        }
+        journaled = RunJournal::load(journalPath);
+    }
+    auto findJournaled =
+        [&](std::size_t i) -> const JournalEntry * {
+        const RunSpec &rs = runs[i];
+        for (const JournalEntry &e : journaled) {
+            if (e.experiment == spec.title &&
+                e.bench == benchmarkName(rs.bench) &&
+                e.variant == rs.variant && e.config == prints[i] &&
+                !e.runJson.empty())
+                return &e;
+        }
+        return nullptr;
+    };
+
+    RunJournal journal;
+    if (!journalPath.empty() &&
+        !journal.open(journalPath, /*truncate=*/!spec.resume)) {
+        fatal(msg() << "cannot open journal '" << journalPath
+                    << "' for writing");
+    }
+
+    // A finished run is journaled immediately, EXCEPT Cancelled runs
+    // (they must re-execute on resume) and Failed runs (their final
+    // attempts count is only known after the optional diagnostic
+    // rerun below).
+    auto journalIfDurable = [&](std::size_t i,
+                                const BenchmarkRun &run) {
+        if (!journal.isOpen() || run.restored())
+            return;
+        RunOutcome outcome = run.result.outcome;
+        if (outcome == RunOutcome::Cancelled ||
+            outcome == RunOutcome::Failed)
+            return;
+        journal.append(makeEntry(spec.title, runs[i], prints[i],
+                                 run));
+    };
+
+    auto executeOne = [&](std::size_t i) -> BenchmarkRun {
+        if (token.level() >= CancelToken::Drain)
+            return skippedRun(runs[i]);
+        return runProtected(spec.title, runs[i], token);
+    };
+
+    const std::size_t n = runs.size();
+    result.results.resize(n);
+
+    {
+    // Exception firewall: while runs execute, fatal()/panic() raise
+    // SimError instead of exiting, so one poisoned run cannot take
+    // the sweep down; runProtected() catches per run. Scoped to the
+    // execution phase only — a fatal() while writing the final
+    // document below keeps its normal terminate behaviour.
+    ScopedErrorHandler firewall(throwingErrorHandler);
+
     if (jobs == 1) {
         // Reference path: strictly serial, on the calling thread.
-        for (const RunSpec &rs : spec.runs)
-            result.results.push_back(runOne(spec.title, rs));
+        for (std::size_t i = 0; i < n; ++i) {
+            if (const JournalEntry *e = findJournaled(i)) {
+                result.results[i] =
+                    restoredRun(spec.title, runs[i], *e);
+                continue;
+            }
+            result.results[i] = executeOne(i);
+            journalIfDurable(i, result.results[i]);
+        }
     } else {
         ThreadPool pool(jobs);
-        std::vector<std::future<BenchmarkRun>> futures;
-        futures.reserve(spec.runs.size());
-        for (const RunSpec &rs : spec.runs) {
-            futures.push_back(pool.submit(
-                [&title = spec.title, &rs] {
-                    return runOne(title, rs);
-                }));
+        std::vector<std::pair<std::size_t,
+                              std::future<BenchmarkRun>>> futures;
+        futures.reserve(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            if (const JournalEntry *e = findJournaled(i)) {
+                result.results[i] =
+                    restoredRun(spec.title, runs[i], *e);
+                continue;
+            }
+            futures.emplace_back(i, pool.submit([&executeOne, i] {
+                return executeOne(i);
+            }));
         }
         // Collect in submission (= spec) order; completion order is
-        // irrelevant because runs share no mutable state.
-        for (std::future<BenchmarkRun> &f : futures)
-            result.results.push_back(f.get());
+        // irrelevant because runs share no mutable state. On
+        // cancellation, queued-unstarted jobs are discarded; their
+        // broken futures read back as skipped runs.
+        bool drained = false;
+        for (auto &[i, f] : futures) {
+            try {
+                result.results[i] = f.get();
+            } catch (const std::future_error &) {
+                result.results[i] = skippedRun(runs[i]);
+            }
+            journalIfDurable(i, result.results[i]);
+            if (!drained && token.cancelled()) {
+                pool.cancelPending();
+                drained = true;
+            }
+        }
+    }
+
+    // Post-pass over Failed runs: optional diagnostic rerun, then
+    // journal their final state.
+    for (std::size_t i = 0; i < n; ++i) {
+        BenchmarkRun &run = result.results[i];
+        if (run.restored() ||
+            run.result.outcome != RunOutcome::Failed)
+            continue;
+        if (spec.diagnose && !token.cancelled())
+            diagnoseRun(spec.title, runs[i], token, run);
+        if (journal.isOpen()) {
+            journal.append(makeEntry(spec.title, runs[i], prints[i],
+                                     run));
+        }
+    }
+    }  // firewall scope
+
+    result.wasInterrupted = token.cancelled();
+    if (result.wasInterrupted) {
+        warn(msg() << "[" << spec.title << "] interrupted: "
+                   << "in-flight runs drained, pending runs "
+                   << "recorded as cancelled");
     }
 
     if (!spec.jsonPath.empty()) {

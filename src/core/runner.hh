@@ -39,6 +39,13 @@ struct RunSpec
 
     SystemConfig config;
     double scale = 1.0;
+
+    /**
+     * TEST HOOK: when non-empty, the worker throws this message as a
+     * SimError instead of running, exercising the exception firewall
+     * without corrupting a real model.
+     */
+    std::string injectFailure;
 };
 
 /** Declarative description of a whole experiment. */
@@ -55,6 +62,43 @@ struct ExperimentSpec
     /** Path of the structured JSON document; "" = don't write. */
     std::string jsonPath;
 
+    /**
+     * Per-run budget in simulated seconds applied to every run that
+     * does not set its own config.deadlineSeconds; 0 = none. Expiry
+     * is RunOutcome::DeadlineExceeded, not a sweep abort.
+     */
+    double deadlineS = 0.0;
+
+    /**
+     * Grace budget in simulated seconds for in-flight runs after a
+     * Drain cancellation (first SIGINT/SIGTERM); 0 = let them
+     * finish. Applied like deadlineS.
+     */
+    double graceS = 0.0;
+
+    /**
+     * Replay `<jsonPath>.journal.jsonl`: runs whose (bench, variant,
+     * config-fingerprint) key matches a journaled entry are spliced
+     * from the journal instead of re-executed, so a killed sweep
+     * restarts where it died and still emits a final document
+     * byte-identical to an uninterrupted run.
+     */
+    bool resume = false;
+
+    /**
+     * Rerun each Failed spec once, serially, with the runtime
+     * invariant sweeps forced on and verbose logging, to capture a
+     * diagnostic failure bundle.
+     */
+    bool diagnose = false;
+
+    /**
+     * Optional external cancel token (tests). When null the runner
+     * uses an internal token; either way it is bridged to
+     * SIGINT/SIGTERM for the duration of runExperiment().
+     */
+    CancelToken *cancel = nullptr;
+
     /** Append one run and return it for further tweaking. */
     RunSpec &add(Benchmark bench, const SystemConfig &config,
                  double scale = 1.0, const std::string &variant = "");
@@ -65,8 +109,12 @@ struct ExperimentSpec
 
     /**
      * Spec primed from parsed command-line arguments: reads the
-     * runner's own keys (jobs=N, out=path) so SystemConfig's
-     * unused-key check does not flag them.
+     * runner's own keys (jobs=N, out=path, deadline_s=T, grace_s=T,
+     * resume=0/1, diagnose=0/1) so SystemConfig's unused-key check
+     * does not flag them. Values are range-checked here and the out=
+     * path is probed for writability (open + unlink of a scratch
+     * file), so a doomed sweep fails in milliseconds instead of
+     * after hours of simulation.
      */
     static ExperimentSpec fromArgs(const std::string &title,
                                    const Config &args);
@@ -88,6 +136,14 @@ class ExperimentResult
     /** The run for (bench, variant); fatal() if absent. */
     const BenchmarkRun &run(Benchmark bench,
                             const std::string &variant = "") const;
+
+    /**
+     * The run for (bench, variant), or null if absent. Report paths
+     * that can see gaps (failed or skipped runs) use this instead of
+     * run() so one missing run degrades the report, not the process.
+     */
+    const BenchmarkRun *find(Benchmark bench,
+                             const std::string &variant = "") const;
 
     /** Runs carrying @p variant, in spec order. */
     std::vector<const BenchmarkRun *>
@@ -116,6 +172,20 @@ class ExperimentResult
     /** Core clock of the first run (all runs share the machine). */
     double freqHz() const;
 
+    /** True when the experiment was cut short by SIGINT/SIGTERM. */
+    bool interrupted() const { return wasInterrupted; }
+
+    /** Runs that died inside the exception firewall. */
+    std::size_t failedRuns() const;
+
+    /**
+     * Process exit status reflecting the sweep: 0 when every run
+     * executed (recorded deadline/watchdog/io outcomes included),
+     * 1 when any run Failed inside the firewall, 130 (128+SIGINT)
+     * when the experiment was interrupted.
+     */
+    int exitCode() const;
+
     /**
      * Emit the structured JSON document: per run, the outcome,
      * cycle/instruction totals, both power breakdowns, the per-mode
@@ -129,6 +199,7 @@ class ExperimentResult
 
     std::string expTitle;
     int workerCount = 1;
+    bool wasInterrupted = false;
     std::vector<RunSpec> specs;
     std::vector<BenchmarkRun> results;
 };

@@ -110,6 +110,18 @@ SystemConfig::validate() const
         fatal(msg() << "config: max_cycles must be >= 1 (got 0); "
                     << "the watchdog would expire immediately");
     }
+    if (!(deadlineSeconds >= 0) ||
+        deadlineSeconds > 1e18) {
+        fatal(msg() << "config: deadline_s must be a finite value "
+                    << ">= 0 (got " << deadlineSeconds
+                    << "); 0 disables the per-run deadline");
+    }
+    if (!(shutdownGraceSeconds >= 0) ||
+        shutdownGraceSeconds > 1e18) {
+        fatal(msg() << "config: grace_s must be a finite value >= 0 "
+                    << "(got " << shutdownGraceSeconds
+                    << "); 0 lets in-flight runs finish on drain");
+    }
     if (diskConfig.kind == DiskConfigKind::Spindown &&
         diskConfig.spindownThresholdSeconds <= 0) {
         fatal(msg() << "config: disk.threshold_s must be > 0 for "
@@ -127,8 +139,26 @@ runOutcomeName(RunOutcome outcome)
       case RunOutcome::Completed: return "completed";
       case RunOutcome::WatchdogExpired: return "watchdog-expired";
       case RunOutcome::IoFailed: return "io-failed";
+      case RunOutcome::DeadlineExceeded: return "deadline-exceeded";
+      case RunOutcome::Cancelled: return "cancelled";
+      case RunOutcome::Failed: return "failed";
     }
     panic("runOutcomeName: invalid outcome");
+}
+
+bool
+runOutcomeFromName(const std::string &name, RunOutcome &out)
+{
+    for (RunOutcome candidate :
+         {RunOutcome::Completed, RunOutcome::WatchdogExpired,
+          RunOutcome::IoFailed, RunOutcome::DeadlineExceeded,
+          RunOutcome::Cancelled, RunOutcome::Failed}) {
+        if (name == runOutcomeName(candidate)) {
+            out = candidate;
+            return true;
+        }
+    }
+    return false;
 }
 
 System::System(const SystemConfig &config) : cfg(config)
@@ -245,6 +275,58 @@ System::fastForwardToNextEvent()
     queue.advanceTo(next);  // runs the unblocking event(s)
 }
 
+namespace
+{
+
+/**
+ * Simulated seconds -> ticks, saturating: a budget large enough to
+ * overflow Tick arithmetic behaves as "effectively unbounded"
+ * instead of wrapping into a tiny (or UB) deadline.
+ */
+Tick
+ticksFromSeconds(double seconds, double freq_mhz)
+{
+    double ticks = seconds * freq_mhz * 1e6;
+    const double max_tick = 9.2e18;  // < 2^63, exactly convertible
+    return ticks >= max_tick ? Tick(max_tick) : Tick(ticks);
+}
+
+} // namespace
+
+bool
+System::cancellationRequested(RunResult &result)
+{
+    if (!cancel)
+        return false;
+    CancelToken::Level level = cancel->level();
+    if (level == CancelToken::Live)
+        return false;
+    if (level >= CancelToken::Hard) {
+        result.outcome = RunOutcome::Cancelled;
+        result.diagnostics =
+            "cancelled at sample-window boundary (hard)";
+        return true;
+    }
+    // Drain: finish this run, bounded by the grace budget.
+    if (cfg.shutdownGraceSeconds <= 0)
+        return false;
+    if (graceDeadline == 0) {
+        graceDeadline =
+            queue.now() + ticksFromSeconds(cfg.shutdownGraceSeconds,
+                                           cfg.machine.freqMhz);
+        return false;
+    }
+    if (queue.now() >= graceDeadline) {
+        result.outcome = RunOutcome::Cancelled;
+        result.diagnostics =
+            msg() << "cancelled: drain grace budget of "
+                  << cfg.shutdownGraceSeconds
+                  << " simulated seconds exhausted";
+        return true;
+    }
+    return false;
+}
+
 RunResult
 System::run()
 {
@@ -256,6 +338,15 @@ System::run()
     windowStart = queue.now();
     Cycles idle_streak = 0;
     RunResult result;
+
+    // The deadline is simulated time, so expiry is deterministic:
+    // the same configuration ends at the same cycle regardless of
+    // host load or the jobs= setting.
+    const Tick deadline_tick =
+        cfg.deadlineSeconds > 0
+            ? ticksFromSeconds(cfg.deadlineSeconds,
+                               cfg.machine.freqMhz)
+            : 0;
 
     while (true) {
         if (machineKernel->ioFailed()) {
@@ -271,13 +362,25 @@ System::run()
                       << cfg.maxCycles << " cycles";
             break;
         }
+        if (deadline_tick && queue.now() >= deadline_tick) {
+            result.outcome = RunOutcome::DeadlineExceeded;
+            result.diagnostics =
+                msg() << "deadline: run exceeded its budget of "
+                      << cfg.deadlineSeconds
+                      << " simulated seconds (" << deadline_tick
+                      << " cycles)";
+            break;
+        }
 
         bool alive = machineCpu->cycle();
         ++detailCycles;
         queue.advanceTo(queue.now() + 1);
 
-        if (queue.now() - windowStart >= cfg.sampleWindow)
+        bool window_closed = false;
+        if (queue.now() - windowStart >= cfg.sampleWindow) {
             closeWindow(queue.now());
+            window_closed = true;
+        }
 
         if (!alive)
             break;
@@ -286,10 +389,15 @@ System::run()
             if (++idle_streak >= cfg.idleFastForwardAfter) {
                 fastForwardToNextEvent();
                 idle_streak = 0;
+                // Fast-forward may have closed several windows.
+                window_closed = true;
             }
         } else {
             idle_streak = 0;
         }
+
+        if (window_closed && cancellationRequested(result))
+            break;
     }
     closeWindow(queue.now());
     checker.checkAll("end-of-run");

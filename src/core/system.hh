@@ -19,6 +19,7 @@
 #include "os/kernel.hh"
 #include "power/cpu_power.hh"
 #include "power/power_calculator.hh"
+#include "sim/cancel.hh"
 #include "sim/config.hh"
 #include "sim/counter_sink.hh"
 #include "sim/event_queue.hh"
@@ -66,6 +67,24 @@ struct SystemConfig
     bool clockInterrupts = true;
 
     /**
+     * Per-run budget in simulated seconds (cycles / core clock);
+     * 0 disables. Unlike the cycle-granular watchdog, expiry is
+     * reported as RunOutcome::DeadlineExceeded so sweeps can
+     * distinguish "this configuration hung" from "this run was over
+     * its time budget". Deterministic: the same configuration
+     * expires at the same cycle on every host and jobs= setting.
+     */
+    double deadlineSeconds = 0.0;
+
+    /**
+     * After a Drain cancellation (first SIGINT/SIGTERM), how many
+     * additional simulated seconds an in-flight run may consume
+     * before it is cut off at a sample-window boundary; 0 lets
+     * in-flight runs finish completely.
+     */
+    double shutdownGraceSeconds = 0.0;
+
+    /**
      * Build from a generic key=value Config. Validates ranges and
      * warns about keys nobody read (likely typos) — harnesses should
      * read their own keys (bench, scale, ...) *before* calling this
@@ -84,13 +103,22 @@ struct SystemConfig
 /** How a simulation ended. */
 enum class RunOutcome
 {
-    Completed,        ///< The workload ran to completion.
-    WatchdogExpired,  ///< maxCycles elapsed first.
-    IoFailed,         ///< The disk driver abandoned a request.
+    Completed,         ///< The workload ran to completion.
+    WatchdogExpired,   ///< maxCycles elapsed first.
+    IoFailed,          ///< The disk driver abandoned a request.
+    DeadlineExceeded,  ///< The per-run deadline_s budget expired.
+    Cancelled,         ///< Cooperative cancellation (signal/drain).
+    Failed,            ///< An exception escaped the run (firewall).
 };
 
 /** Display name of a run outcome. */
 const char *runOutcomeName(RunOutcome outcome);
+
+/**
+ * Parse a runOutcomeName() string back into the enum (journal
+ * replay). @return false when @p name matches no outcome.
+ */
+bool runOutcomeFromName(const std::string &name, RunOutcome &out);
 
 /**
  * Structured result of System::run. Anomalies no longer kill the
@@ -129,11 +157,21 @@ class System
     void attachWorkload(std::unique_ptr<Workload> workload);
 
     /**
-     * Run until the workload completes, the watchdog expires, or an
-     * I/O request is abandoned; the outcome is returned rather than
-     * terminating the process.
+     * Run until the workload completes, the watchdog or deadline
+     * expires, an I/O request is abandoned, or the cancel token
+     * fires; the outcome is returned rather than terminating the
+     * process.
      */
     RunResult run();
+
+    /**
+     * Attach a cooperative-cancellation token (nullptr detaches).
+     * The token is polled only at sample-window boundaries, so a
+     * cancelled run always ends on a complete sample record: Hard
+     * stops at the next boundary; Drain arms the
+     * shutdownGraceSeconds budget (0 = finish the run).
+     */
+    void setCancelToken(const CancelToken *token) { cancel = token; }
 
     /** Current simulated time in cycles. */
     Tick now() const { return queue.now(); }
@@ -239,8 +277,19 @@ class System
     Cycles ffCycles = 0;
     Cycles detailCycles = 0;
 
+    const CancelToken *cancel = nullptr;
+
+    /** Tick at which the Drain grace budget expires; 0 = unarmed. */
+    Tick graceDeadline = 0;
+
     /** Close the current sample window at @p end_tick. */
     void closeWindow(Tick end_tick);
+
+    /**
+     * Window-boundary cancellation poll: fills @p result and
+     * returns true when the run must stop now.
+     */
+    bool cancellationRequested(RunResult &result);
 
     /** Skip ahead to the next event, charging bulk idle activity. */
     void fastForwardToNextEvent();

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Cooperative cancellation for long-running simulations.
+ *
+ * A CancelToken is a tiny shared flag with two escalation levels:
+ * Drain asks the experiment runner to stop dispatching new runs and
+ * let in-flight runs finish (bounded by an optional grace budget);
+ * Hard asks in-flight runs to stop at their next sample-window
+ * boundary. System::run polls its token only at window boundaries,
+ * so cancellation never tears a sample record in half and a
+ * cancelled run's partial statistics remain consistent.
+ *
+ * The token is written from signal handlers (see sim/signals.hh), so
+ * every mutation is a lock-free atomic operation and escalation is
+ * monotonic: a level can only increase, never reset while a consumer
+ * might still be polling (reset() is for test reuse only).
+ */
+
+#ifndef SOFTWATT_SIM_CANCEL_HH
+#define SOFTWATT_SIM_CANCEL_HH
+
+#include <atomic>
+
+namespace softwatt
+{
+
+/** Shared cancellation flag, safe to set from a signal handler. */
+class CancelToken
+{
+  public:
+    enum Level : int
+    {
+        Live = 0,   ///< Not cancelled.
+        Drain = 1,  ///< Finish in-flight runs, start no new ones.
+        Hard = 2,   ///< Stop at the next sample-window boundary.
+    };
+
+    /** Raise to @p level; never lowers an existing request. */
+    void
+    request(Level level) noexcept
+    {
+        int current = state.load(std::memory_order_relaxed);
+        while (current < level &&
+               !state.compare_exchange_weak(
+                   current, int(level), std::memory_order_release,
+                   std::memory_order_relaxed)) {
+        }
+    }
+
+    /**
+     * One step up the ladder (Live -> Drain -> Hard). This is what a
+     * signal handler calls: the first SIGINT drains, the second
+     * hard-cancels. Async-signal-safe on lock-free atomics.
+     */
+    void
+    escalate() noexcept
+    {
+        int current = state.load(std::memory_order_relaxed);
+        while (current < int(Hard) &&
+               !state.compare_exchange_weak(
+                   current, current + 1, std::memory_order_release,
+                   std::memory_order_relaxed)) {
+        }
+    }
+
+    Level
+    level() const noexcept
+    {
+        return Level(state.load(std::memory_order_acquire));
+    }
+
+    /** True once any cancellation (Drain or Hard) was requested. */
+    bool cancelled() const noexcept { return level() != Live; }
+
+    /** TEST HOOK: rearm a token between sequential experiments. */
+    void
+    reset() noexcept
+    {
+        state.store(0, std::memory_order_release);
+    }
+
+  private:
+    std::atomic<int> state{0};
+};
+
+} // namespace softwatt
+
+#endif // SOFTWATT_SIM_CANCEL_HH

@@ -37,6 +37,19 @@ ThreadPool::completedJobs() const
     return numCompleted;
 }
 
+std::size_t
+ThreadPool::cancelPending()
+{
+    std::deque<std::function<void()>> dropped;
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        dropped.swap(jobs);
+    }
+    // Destroy outside the lock: dropping a packaged_task breaks its
+    // promise, which may run arbitrary future-side destructors.
+    return dropped.size();
+}
+
 void
 ThreadPool::enqueue(std::function<void()> job)
 {

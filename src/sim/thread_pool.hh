@@ -72,6 +72,15 @@ class ThreadPool
     /** Jobs executed so far (for tests and diagnostics). */
     std::uint64_t completedJobs() const;
 
+    /**
+     * Discard every queued-but-unstarted job and return how many
+     * were dropped. In-flight jobs are unaffected. The future of a
+     * discarded job reports std::future_error(broken_promise) at
+     * get(), which is how a draining experiment distinguishes
+     * "never ran" from "ran and failed".
+     */
+    std::size_t cancelPending();
+
   private:
     void enqueue(std::function<void()> job);
     void workerLoop();

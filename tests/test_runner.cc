@@ -123,11 +123,16 @@ TEST(Runner, JsonDocumentShape)
     setLogLevel(LogLevel::Normal);
 
     std::string doc = jsonOf(result);
-    EXPECT_NE(doc.find("\"schema\": \"softwatt-experiment-v1\""),
+    EXPECT_NE(doc.find("\"schema\": \"softwatt-experiment-v2\""),
               std::string::npos);
     EXPECT_NE(doc.find("\"experiment\": \"shape\""),
               std::string::npos);
+    EXPECT_NE(doc.find("\"interrupted\": false"),
+              std::string::npos);
     EXPECT_NE(doc.find("\"variant\": \"v1\""), std::string::npos);
+    EXPECT_NE(doc.find("\"attempts\": 1"), std::string::npos);
+    EXPECT_NE(doc.find("\"wall_ms\""), std::string::npos);
+    EXPECT_NE(doc.find("\"error\": \"\""), std::string::npos);
     EXPECT_NE(doc.find("\"breakdown\""), std::string::npos);
     EXPECT_NE(doc.find("\"conventional_breakdown\""),
               std::string::npos);
@@ -188,11 +193,48 @@ TEST(Runner, SpecFromArgsReadsRunnerKeys)
     ExperimentSpec defaults = ExperimentSpec::fromArgs("t", none);
     EXPECT_EQ(defaults.jobs, 0);
     EXPECT_EQ(defaults.jsonPath, "");
+    EXPECT_EQ(defaults.deadlineS, 0.0);
+    EXPECT_EQ(defaults.graceS, 0.0);
+    EXPECT_FALSE(defaults.resume);
+    EXPECT_FALSE(defaults.diagnose);
+
+    Config resilient;
+    resilient.set("deadline_s", 2.5);
+    resilient.set("grace_s", 0.5);
+    resilient.set("resume", std::int64_t(1));
+    resilient.set("diagnose", std::int64_t(1));
+    resilient.set("out", std::string("r.json"));
+    ExperimentSpec r = ExperimentSpec::fromArgs("t", resilient);
+    EXPECT_EQ(r.deadlineS, 2.5);
+    EXPECT_EQ(r.graceS, 0.5);
+    EXPECT_TRUE(r.resume);
+    EXPECT_TRUE(r.diagnose);
 
     setErrorHandler(throwingErrorHandler);
     Config bad;
     bad.set("jobs", std::int64_t(-2));
     EXPECT_THROW(ExperimentSpec::fromArgs("t", bad), SimError);
+
+    Config bad_deadline;
+    bad_deadline.set("deadline_s", -1.0);
+    EXPECT_THROW(ExperimentSpec::fromArgs("t", bad_deadline),
+                 SimError);
+
+    Config bad_flag;
+    bad_flag.set("resume", std::int64_t(2));
+    EXPECT_THROW(ExperimentSpec::fromArgs("t", bad_flag), SimError);
+
+    // resume=1 without out= has nowhere to find a journal.
+    Config no_out;
+    no_out.set("resume", std::int64_t(1));
+    EXPECT_THROW(ExperimentSpec::fromArgs("t", no_out), SimError);
+
+    // An unwritable out= destination fails at spec time, not after
+    // hours of simulation.
+    Config bad_out;
+    bad_out.set("out",
+                std::string("/nonexistent-dir/results.json"));
+    EXPECT_THROW(ExperimentSpec::fromArgs("t", bad_out), SimError);
     setErrorHandler(nullptr);
 }
 

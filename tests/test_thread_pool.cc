@@ -137,3 +137,56 @@ TEST(ThreadPoolStress, ManyShortJobsWithExceptionsAndEarlyExit)
         expected_failures += (i % 7 == 3);
     EXPECT_EQ(succeeded.load(), numJobs - expected_failures);
 }
+
+TEST(ThreadPool, CancelPendingDiscardsQueuedJobsOnly)
+{
+    std::atomic<int> executed{0};
+    std::atomic<bool> started{false};
+    std::atomic<bool> release{false};
+    ThreadPool pool(1);
+
+    // Occupy the lone worker so everything else stays queued.
+    auto running = pool.submit([&] {
+        started = true;
+        while (!release.load())
+            std::this_thread::yield();
+        ++executed;
+        return 1;
+    });
+    // Don't race the worker's dequeue: only once the blocking job is
+    // running is "everything queued after it" well-defined.
+    while (!started.load())
+        std::this_thread::yield();
+
+    std::vector<std::future<int>> queued;
+    for (int i = 0; i < 8; ++i) {
+        queued.push_back(pool.submit([&] {
+            ++executed;
+            return 2;
+        }));
+    }
+
+    // All eight are still pending; cancel discards exactly them.
+    std::size_t dropped = pool.cancelPending();
+    EXPECT_EQ(dropped, 8u);
+
+    release = true;
+    EXPECT_EQ(running.get(), 1);  // in-flight work is never touched
+
+    // Discarded jobs surface as broken promises, not hangs.
+    for (auto &f : queued)
+        EXPECT_THROW(f.get(), std::future_error);
+    EXPECT_EQ(executed.load(), 1);
+
+    // The pool remains usable after a drain.
+    auto after = pool.submit([] { return 3; });
+    EXPECT_EQ(after.get(), 3);
+}
+
+TEST(ThreadPool, CancelPendingOnIdlePoolIsANoOp)
+{
+    ThreadPool pool(2);
+    EXPECT_EQ(pool.cancelPending(), 0u);
+    auto f = pool.submit([] { return 5; });
+    EXPECT_EQ(f.get(), 5);
+}

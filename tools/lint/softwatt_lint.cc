@@ -92,6 +92,13 @@ rules()
          "deterministic, use std::map/std::set or sort first",
          {{"unordered_map", true, false},
           {"unordered_set", true, false}}},
+        {"raw-signal", Scope::Everywhere,
+         "install signal handlers only through SignalGuard "
+         "(src/sim/signals.hh); scattered signal()/sigaction() "
+         "calls fight over handler ownership and skip the "
+         "cancellation token",
+         {{"signal", true, true},
+          {"sigaction", true, true}}},
         {"raw-assert", Scope::Everywhere,
          "use SW_ASSERT/SW_CHECK (src/sim/check.hh); raw assert() "
          "bypasses the error-handler path and vanishes under NDEBUG",
@@ -107,6 +114,10 @@ ruleApplies(const Rule &rule, const std::string &path)
 {
     // The one blessed RNG implementation defines, not uses, the API.
     if (rule.name == "banned-rand" && path == "src/sim/random.hh")
+        return false;
+    // The one blessed signal module owns the raw handler calls.
+    if (rule.name == "raw-signal" &&
+        (path == "src/sim/signals.cc" || path == "src/sim/signals.hh"))
         return false;
     switch (rule.scope) {
       case Scope::Everywhere:
