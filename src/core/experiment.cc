@@ -32,6 +32,12 @@ runBenchmark(Benchmark bench, const SystemConfig &config, double scale,
     if (scale != 1.0)
         spec = scaleWorkload(spec, scale);
     run.system->attachWorkload(std::make_unique<Workload>(spec));
+    if (options.checkpointEverySeconds > 0) {
+        run.system->setCheckpointPolicy(options.checkpointEverySeconds,
+                                        options.checkpointPath);
+    }
+    if (!options.restorePath.empty())
+        run.system->restoreCheckpoint(options.restorePath);
     run.result = run.system->run();
     if (!run.result.ok())
         warn(msg() << run.name << ": run ended early ("
@@ -73,7 +79,15 @@ usageText(const char *argv0)
                     "               grace_s=T (post-SIGINT budget "
                     "for in-flight runs, 0 = finish),\n"
                     "               diagnose=1 (rerun failed specs "
-                    "once with invariant sweeps)";
+                    "once with invariant sweeps),\n"
+                    "               checkpoint_every_s=T (autosave a "
+                    "machine checkpoint every T simulated\n"
+                    "               seconds next to <out>; needs "
+                    "out=),\n"
+                    "               restore=file.ckpt (restore "
+                    "machine state before the run;\n"
+                    "               single-run specs only, not with "
+                    "resume=1)";
 }
 
 bool

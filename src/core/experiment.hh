@@ -76,6 +76,23 @@ struct RunOptions
      * pinpoints which contract broke first.
      */
     bool forceInvariants = false;
+
+    /**
+     * Autosave a machine checkpoint every this many simulated
+     * seconds to checkpointPath; 0 disables. See
+     * System::setCheckpointPolicy for the determinism contract.
+     */
+    double checkpointEverySeconds = 0.0;
+
+    /** Autosave destination (required when autosave is armed). */
+    std::string checkpointPath;
+
+    /**
+     * Restore machine state from this checkpoint before running;
+     * "" starts from scratch. Damaged files fall back one autosave
+     * generation (System::restoreCheckpoint).
+     */
+    std::string restorePath;
 };
 
 /**

@@ -118,9 +118,28 @@ ExperimentSpec::fromArgs(const std::string &title, const Config &args)
     spec.graceS = nonNegativeSeconds(args, "grace_s");
     spec.resume = boolFlag(args, "resume");
     spec.diagnose = boolFlag(args, "diagnose");
+    spec.checkpointEveryS =
+        nonNegativeSeconds(args, "checkpoint_every_s");
+    spec.restorePath = args.getString("restore", "");
     if (spec.resume && spec.jsonPath.empty()) {
         fatal("config: resume=1 requires out= (the resume journal "
               "lives next to the JSON document)");
+    }
+    if (spec.checkpointEveryS > 0 && spec.jsonPath.empty()) {
+        fatal("config: checkpoint_every_s= requires out= (autosave "
+              "checkpoints live next to the JSON document)");
+    }
+    if (!spec.restorePath.empty()) {
+        if (spec.resume) {
+            fatal("config: restore= cannot be combined with "
+                  "resume=1 (the journal replays whole runs, the "
+                  "checkpoint resumes inside one)");
+        }
+        if (!std::ifstream(spec.restorePath)) {
+            fatal(msg() << "config: restore= file '"
+                        << spec.restorePath
+                        << "' does not exist or is not readable");
+        }
     }
     if (!spec.jsonPath.empty()) {
         probeWritable(spec.jsonPath);
@@ -418,6 +437,18 @@ runLabel(const RunSpec &spec)
     return label;
 }
 
+/** runLabel made filename-safe for the autosave path suffix. */
+std::string
+checkpointLabel(const RunSpec &spec)
+{
+    std::string label = runLabel(spec);
+    for (char &c : label) {
+        if (c == '/' || c == '\\' || c == ' ')
+            c = '-';
+    }
+    return label;
+}
+
 /** A run that died inside the firewall: identity + error only. */
 BenchmarkRun
 failedRun(const std::string &title, const RunSpec &spec,
@@ -494,6 +525,9 @@ runProtected(const std::string &title, const RunSpec &spec,
     RunOptions options;
     options.cancel = &token;
     options.forceInvariants = forceInvariants;
+    options.checkpointEverySeconds = spec.checkpointEveryS;
+    options.checkpointPath = spec.checkpointPath;
+    options.restorePath = spec.restorePath;
     try {
         if (!spec.injectFailure.empty())
             throw SimError(ErrorKind::Fatal, spec.injectFailure);
@@ -593,6 +627,22 @@ runExperiment(const ExperimentSpec &spec)
         if (spec.graceS > 0.0 &&
             rs.config.shutdownGraceSeconds <= 0.0)
             rs.config.shutdownGraceSeconds = spec.graceS;
+        if (spec.checkpointEveryS > 0.0 && !spec.jsonPath.empty() &&
+            rs.checkpointEveryS <= 0.0) {
+            rs.checkpointEveryS = spec.checkpointEveryS;
+            rs.checkpointPath =
+                spec.jsonPath + "." + checkpointLabel(rs) + ".ckpt";
+        }
+    }
+    if (!spec.restorePath.empty()) {
+        // A checkpoint encodes exactly one machine; restoring it
+        // into several runs of a sweep is never what anyone means.
+        if (runs.size() != 1) {
+            fatal(msg() << "restore= needs a single-run spec, but '"
+                        << spec.title << "' schedules "
+                        << runs.size() << " runs");
+        }
+        runs.front().restorePath = spec.restorePath;
     }
     result.specs = runs;
 

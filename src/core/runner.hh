@@ -46,6 +46,16 @@ struct RunSpec
      * without corrupting a real model.
      */
     std::string injectFailure;
+
+    /**
+     * Checkpoint plumbing, filled in by runExperiment() from the
+     * spec-level settings: autosave cadence (simulated seconds, 0
+     * off), the per-run autosave destination derived from the JSON
+     * path, and an optional checkpoint to restore before running.
+     */
+    double checkpointEveryS = 0.0;
+    std::string checkpointPath;
+    std::string restorePath;
 };
 
 /** Declarative description of a whole experiment. */
@@ -93,6 +103,23 @@ struct ExperimentSpec
     bool diagnose = false;
 
     /**
+     * Autosave a machine checkpoint every this many simulated
+     * seconds; 0 disables. Requires jsonPath: each run autosaves to
+     * "<jsonPath>.<bench>[-variant].ckpt" (atomic rename, previous
+     * generation kept as "....ckpt.1"). Bit-identity holds between
+     * runs with the same cadence — see System::setCheckpointPolicy.
+     */
+    double checkpointEveryS = 0.0;
+
+    /**
+     * Restore machine state from this checkpoint before running.
+     * Only meaningful for single-run specs (the checkpoint encodes
+     * one machine); mutually exclusive with resume (the journal
+     * replays whole runs, the checkpoint resumes inside one).
+     */
+    std::string restorePath;
+
+    /**
      * Optional external cancel token (tests). When null the runner
      * uses an internal token; either way it is bridged to
      * SIGINT/SIGTERM for the duration of runExperiment().
@@ -110,11 +137,12 @@ struct ExperimentSpec
     /**
      * Spec primed from parsed command-line arguments: reads the
      * runner's own keys (jobs=N, out=path, deadline_s=T, grace_s=T,
-     * resume=0/1, diagnose=0/1) so SystemConfig's unused-key check
-     * does not flag them. Values are range-checked here and the out=
-     * path is probed for writability (open + unlink of a scratch
-     * file), so a doomed sweep fails in milliseconds instead of
-     * after hours of simulation.
+     * resume=0/1, diagnose=0/1, checkpoint_every_s=T, restore=path)
+     * so SystemConfig's unused-key check does not flag them. Values
+     * are range-checked here, the out= path is probed for
+     * writability (open + unlink of a scratch file), and a restore=
+     * file must already be readable, so a doomed sweep fails in
+     * milliseconds instead of after hours of simulation.
      */
     static ExperimentSpec fromArgs(const std::string &title,
                                    const Config &args);

@@ -4,6 +4,7 @@
 
 #include "cpu/inorder_cpu.hh"
 #include "cpu/superscalar_cpu.hh"
+#include "sim/check.hh"
 #include "sim/logging.hh"
 
 namespace softwatt
@@ -335,9 +336,22 @@ System::run()
     if (cfg.clockInterrupts)
         machineKernel->startClock();
 
-    windowStart = queue.now();
-    Cycles idle_streak = 0;
+    if (!restoredState) {
+        windowStart = queue.now();
+        idleStreak = 0;
+    }
     RunResult result;
+
+    // Checkpoint cadence is anchored to the previous checkpoint's
+    // tick, so a restored run (now() == that tick) arms the next
+    // autosave at exactly the tick the uninterrupted run would.
+    const Tick ckpt_interval =
+        checkpointEverySeconds > 0
+            ? ticksFromSeconds(checkpointEverySeconds,
+                               cfg.machine.freqMhz)
+            : 0;
+    Tick next_ckpt =
+        ckpt_interval ? queue.now() + ckpt_interval : 0;
 
     // The deadline is simulated time, so expiry is deterministic:
     // the same configuration ends at the same cycle regardless of
@@ -386,23 +400,346 @@ System::run()
             break;
 
         if (machineKernel->idleWaiting()) {
-            if (++idle_streak >= cfg.idleFastForwardAfter) {
+            if (++idleStreak >= cfg.idleFastForwardAfter) {
                 fastForwardToNextEvent();
-                idle_streak = 0;
+                idleStreak = 0;
                 // Fast-forward may have closed several windows.
                 window_closed = true;
             }
         } else {
-            idle_streak = 0;
+            idleStreak = 0;
         }
 
         if (window_closed && cancellationRequested(result))
             break;
+
+        // Checkpoint poll, last in the iteration: a restored run
+        // resumes at the top of the loop, which is exactly where the
+        // uninterrupted run continues after the autosave. The squash
+        // inside buildCheckpointImage() happens at the same tick in
+        // every run with the same cadence, so trajectories match.
+        if (ckpt_interval && queue.now() >= next_ckpt &&
+            checkpointSafeNow()) {
+            takeCheckpoint();
+            next_ckpt = queue.now() + ckpt_interval;
+        }
     }
     closeWindow(queue.now());
     checker.checkAll("end-of-run");
     result.cycles = queue.now();
     return result;
+}
+
+void
+System::setCheckpointPolicy(double every_seconds,
+                            const std::string &autosave_path)
+{
+    if (!(every_seconds >= 0) || every_seconds > 1e18) {
+        fatal(msg() << "checkpoint interval must be a finite value "
+                    << ">= 0 seconds (got " << every_seconds
+                    << "); 0 disables autosave");
+    }
+    if (every_seconds > 0 && autosave_path.empty()) {
+        fatal("checkpoint autosave needs a destination path; "
+              "set an output file for the run");
+    }
+    checkpointEverySeconds = every_seconds;
+    autosavePath = autosave_path;
+}
+
+std::uint64_t
+System::checkpointFingerprint() const
+{
+    SW_CHECK(workload != nullptr,
+             "checkpoint fingerprint needs an attached workload");
+    ChunkWriter w;
+    auto i32 = [&w](int v) { w.u64(std::uint64_t(std::int64_t(v))); };
+
+    const MachineParams &m = cfg.machine;
+    i32(m.instWindowSize);
+    i32(m.intRegs);
+    i32(m.fpRegs);
+    i32(m.lsqSize);
+    i32(m.fetchWidth);
+    i32(m.decodeWidth);
+    i32(m.issueWidth);
+    i32(m.commitWidth);
+    i32(m.intAlus);
+    i32(m.fpAlus);
+    i32(m.bhtEntries);
+    i32(m.btbEntries);
+    i32(m.rasEntries);
+    w.u64(m.memorySizeBytes);
+    for (const CacheParams &c : {m.icache, m.dcache, m.l2cache}) {
+        w.u64(c.sizeBytes);
+        i32(c.lineBytes);
+        i32(c.ways);
+        i32(c.hitLatency);
+    }
+    i32(m.tlbEntries);
+    i32(m.memoryLatency);
+    i32(m.pageBytes);
+    w.f64(m.featureSizeUm);
+    w.f64(m.vdd);
+    w.f64(m.freqMhz);
+
+    w.u8(std::uint8_t(cfg.diskConfig.kind));
+    w.f64(cfg.diskConfig.spindownThresholdSeconds);
+    const DiskFaultConfig &fault = cfg.diskConfig.fault;
+    w.b(fault.enabled);
+    w.f64(fault.transientErrorRate);
+    w.f64(fault.seekErrorRate);
+    w.f64(fault.spinupFailureRate);
+    w.f64(fault.windowStartSeconds);
+    w.f64(fault.windowEndSeconds);
+    w.u64(fault.seed);
+
+    const Kernel::Params &k = cfg.kernelParams;
+    w.f64(k.tlbSlowPathProb);
+    w.f64(k.vfaultProb);
+    w.f64(k.clockTickSeconds);
+    w.f64(k.timeScale);
+    w.u64(k.fileCacheBlocks);
+    w.b(k.haltOnIdle);
+    w.u64(k.seed);
+    const ServiceTuning &t = k.tuning;
+    for (std::uint64_t len :
+         {t.utlbLength, t.tlbMissLength, t.vfaultLength,
+          t.demandZeroLength, t.cacheflushLength, t.openLength,
+          t.openSyncLength, t.xstatLength, t.duPollLength,
+          t.bsdLength, t.clockLength, t.clockSyncLength,
+          t.ioSyncLength, t.ioSetupLength, t.ioFinishLength,
+          t.errorRecoveryLength, t.errorRecoverySyncLength}) {
+        w.u64(len);
+    }
+    w.f64(t.openMetadataMissProb);
+    i32(k.diskRetry.maxAttempts);
+    w.f64(k.diskRetry.backoffSeconds);
+    w.f64(k.diskRetry.backoffMultiplier);
+
+    w.f64(cfg.timeScale);
+    w.u64(cfg.sampleWindow);
+    w.b(cfg.useCalibratedPower);
+    w.u64(cfg.idleFastForwardAfter);
+    w.u64(cfg.maxCycles);
+    w.b(cfg.clockInterrupts);
+
+    const WorkloadSpec &wl = workload->spec();
+    w.str(wl.name);
+    w.u64(wl.mainInsts);
+    wl.mainSpec.saveState(w);
+    i32(wl.numClassFiles);
+    w.u64(wl.classFileBytes);
+    w.u64(wl.loadComputeOps);
+    w.u32(wl.loadReadChunk);
+    i32(wl.jitFlushes);
+    w.u64(wl.jitComputeOps);
+    w.u64(wl.gcPeriodInsts);
+    w.u64(wl.gcBurstInsts);
+    w.f64(wl.sys.readsPerMInst);
+    w.u32(wl.sys.readBytesMin);
+    w.u32(wl.sys.readBytesMax);
+    w.f64(wl.sys.writesPerMInst);
+    w.u32(wl.sys.writeBytes);
+    w.f64(wl.sys.xstatPerMInst);
+    w.f64(wl.sys.bsdPerMInst);
+    w.f64(wl.sys.duPollPerMInst);
+    w.f64(wl.sys.openPerMInst);
+    w.u64(wl.seed);
+    w.u64(wl.coldBurstFracs.size());
+    for (double frac : wl.coldBurstFracs)
+        w.f64(frac);
+    w.u64(wl.dataFileBytes);
+
+    return fnv1a64(w.bytes().data(), w.bytes().size());
+}
+
+CheckpointImage
+System::buildCheckpointImage()
+{
+    SW_CHECK(checkpointSafeNow(),
+             "checkpoint requested outside a safe point");
+    // Squash in-flight work back to the kernel's replay queues: the
+    // pipeline content becomes serializable data, and the squash
+    // happens at this tick in every run with the same cadence.
+    machineKernel->requeue(machineCpu->squashAllCollect());
+
+    CheckpointImage image;
+    image.configFingerprint = checkpointFingerprint();
+    image.cpuModel = std::uint8_t(cfg.cpuModel);
+
+    auto chunk = [&image](const char *name, auto &&fill) {
+        ChunkWriter w;
+        fill(w);
+        image.add(name, w);
+    };
+    chunk("event-queue",
+          [&](ChunkWriter &w) { queue.saveState(w); });
+    chunk("cpu", [&](ChunkWriter &w) { machineCpu->saveState(w); });
+    chunk("caches",
+          [&](ChunkWriter &w) { machineHierarchy->saveState(w); });
+    chunk("tlb", [&](ChunkWriter &w) { machineTlb->saveState(w); });
+    chunk("disk", [&](ChunkWriter &w) { machineDisk->saveState(w); });
+    chunk("kernel",
+          [&](ChunkWriter &w) { machineKernel->saveState(w); });
+    chunk("workload",
+          [&](ChunkWriter &w) { workload->saveState(w); });
+    chunk("counters", [&](ChunkWriter &w) {
+        sink.saveState(w);
+        totalsBank.saveState(w);
+    });
+    chunk("sample-log",
+          [&](ChunkWriter &w) { sampleLog.saveState(w); });
+    chunk("system", [&](ChunkWriter &w) {
+        w.u64(windowStart);
+        w.u64(idleStreak);
+        w.u64(ffCycles);
+        w.u64(detailCycles);
+    });
+    return image;
+}
+
+void
+System::applyCheckpointImage(const CheckpointImage &image)
+{
+    bool warm_start = image.cpuModel != std::uint8_t(cfg.cpuModel);
+
+    // Verify every needed chunk exists before mutating anything, so
+    // a damaged-but-checksum-valid image cannot leave the machine
+    // half restored.
+    std::vector<const char *> needed = {
+        "event-queue", "caches", "tlb",      "disk",
+        "kernel",      "workload", "counters", "sample-log",
+        "system"};
+    if (!warm_start)
+        needed.push_back("cpu");
+    for (const char *name : needed) {
+        if (!image.find(name)) {
+            throw CheckpointError(
+                msg() << "checkpoint is missing chunk '" << name
+                      << "'");
+        }
+    }
+
+    auto apply = [&image](const char *name, auto &&fn) {
+        const CheckpointChunk *found = image.find(name);
+        ChunkReader reader(found->payload, name);
+        fn(reader);
+        reader.finish();
+    };
+    // The event queue goes first: component loadState calls
+    // re-register their live events against the restored clock and
+    // id counter.
+    apply("event-queue",
+          [&](ChunkReader &r) { queue.loadState(r); });
+    if (warm_start) {
+        inform(msg() << "warm start: checkpoint was taken under a "
+                     << "different CPU model; restoring memory, "
+                     << "disk, OS and workload state with a cold "
+                     << "core (SimOS mode-switch semantics)");
+    } else {
+        apply("cpu",
+              [&](ChunkReader &r) { machineCpu->loadState(r); });
+    }
+    apply("caches",
+          [&](ChunkReader &r) { machineHierarchy->loadState(r); });
+    apply("tlb", [&](ChunkReader &r) { machineTlb->loadState(r); });
+    apply("disk",
+          [&](ChunkReader &r) { machineDisk->loadState(r); });
+    apply("kernel",
+          [&](ChunkReader &r) { machineKernel->loadState(r); });
+    apply("workload",
+          [&](ChunkReader &r) { workload->loadState(r); });
+    apply("counters", [&](ChunkReader &r) {
+        sink.loadState(r);
+        totalsBank.loadState(r);
+    });
+    apply("sample-log",
+          [&](ChunkReader &r) { sampleLog.loadState(r); });
+    apply("system", [&](ChunkReader &r) {
+        windowStart = r.u64();
+        idleStreak = r.u64();
+        ffCycles = r.u64();
+        detailCycles = r.u64();
+    });
+}
+
+void
+System::checkCheckpointCompatible(const CheckpointImage &image,
+                                  const std::string &source) const
+{
+    std::uint64_t expected = checkpointFingerprint();
+    if (image.configFingerprint != expected) {
+        throw CheckpointMismatch(
+            msg() << source << ": checkpoint was written under a "
+                  << "different machine/workload configuration "
+                  << "(fingerprint " << image.configFingerprint
+                  << ", this run has " << expected << ")");
+    }
+}
+
+bool
+System::restoreCheckpoint(const std::string &path)
+{
+    if (!workload)
+        fatal("System::restoreCheckpoint: attach the workload "
+              "before restoring");
+
+    CheckpointImage image;
+    bool have_image = false;
+    std::string source = path;
+    try {
+        image = readCheckpoint(path);
+        checkCheckpointCompatible(image, path);
+        have_image = true;
+    } catch (const CheckpointMismatch &err) {
+        fatal(msg() << "cannot restore: " << err.what());
+    } catch (const CheckpointError &err) {
+        warn(msg() << "checkpoint " << path << " is unusable ("
+                   << err.what()
+                   << "); falling back to the previous generation");
+    }
+    if (!have_image) {
+        source = checkpointPreviousGeneration(path);
+        try {
+            image = readCheckpoint(source);
+            checkCheckpointCompatible(image, source);
+            have_image = true;
+        } catch (const CheckpointMismatch &err) {
+            fatal(msg() << "cannot restore: " << err.what());
+        } catch (const CheckpointError &err) {
+            warn(msg() << "previous-generation checkpoint " << source
+                       << " is unusable too (" << err.what()
+                       << "); starting the run from scratch");
+            return false;
+        }
+    }
+
+    try {
+        applyCheckpointImage(image);
+    } catch (const CheckpointError &err) {
+        // The image verified but a chunk would not parse: a format
+        // bug, and the machine may be half restored — do not limp on.
+        panic(msg() << "checkpoint " << source << " verified but "
+                    << "failed to apply: " << err.what());
+    }
+    restoredState = true;
+    inform(msg() << "restored machine state from " << source
+                 << " at tick " << queue.now());
+    return true;
+}
+
+void
+System::writeCheckpointNow(const std::string &path)
+{
+    writeCheckpoint(path, buildCheckpointImage());
+}
+
+void
+System::takeCheckpoint()
+{
+    autosaveCheckpoint(autosavePath, buildCheckpointImage());
+    ++numCheckpoints;
 }
 
 void

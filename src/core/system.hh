@@ -11,6 +11,7 @@
 
 #include <iosfwd>
 #include <memory>
+#include <string>
 
 #include "cpu/cpu.hh"
 #include "disk/disk.hh"
@@ -27,6 +28,7 @@
 #include "sim/sample_log.hh"
 #include "workload/workload.hh"
 
+#include "checkpoint.hh"
 #include "idle_profile.hh"
 #include "invariants.hh"
 
@@ -176,6 +178,67 @@ class System
     /** Current simulated time in cycles. */
     Tick now() const { return queue.now(); }
 
+    /**
+     * Arm periodic autosave checkpoints: once per @p every_seconds
+     * of simulated time, run() writes the machine state to
+     * @p autosave_path (atomic write-to-temp-then-rename, keeping
+     * the previous generation as "<path>.1"). 0 disables.
+     *
+     * Taking a checkpoint squashes the pipeline at the checkpoint
+     * tick (a deterministic perturbation), so bit-identity holds
+     * between runs with the SAME checkpoint cadence: an interrupted
+     * run restored from an autosave reproduces exactly the results
+     * of an uninterrupted run with the same checkpoint_every_s.
+     */
+    void setCheckpointPolicy(double every_seconds,
+                             const std::string &autosave_path);
+
+    /**
+     * Restore machine state from a checkpoint file. Must be called
+     * after attachWorkload() and before run(). Damaged files fall
+     * back to the previous autosave generation ("<path>.1"); if both
+     * generations are unusable the run starts from scratch and this
+     * returns false. A version or configuration-fingerprint mismatch
+     * is fatal().
+     *
+     * Warm start: when the image was taken under a different CPU
+     * model, the CPU chunk is skipped and the core starts cold while
+     * caches, TLB, disk, OS and workload state are restored — the
+     * SimOS mode-switch semantics (warm up under the fast in-order
+     * model, study under the detailed superscalar model).
+     */
+    bool restoreCheckpoint(const std::string &path);
+
+    /**
+     * Write a checkpoint of the current machine state to @p path
+     * (no generation rotation). The machine must be at a safe point
+     * (checkpointSafeNow()); in-flight work is squashed and requeued.
+     */
+    void writeCheckpointNow(const std::string &path);
+
+    /** True when kernel and disk are both at a safe point. */
+    bool
+    checkpointSafeNow() const
+    {
+        return machineKernel->checkpointSafe() &&
+               machineDisk->checkpointSafe();
+    }
+
+    /**
+     * Fingerprint of the checkpoint-relevant configuration: machine,
+     * disk, kernel and sampling parameters plus the workload spec.
+     * Excludes the CPU model (stored separately, to allow warm-start
+     * model switching) and the deadline/grace budgets (host-side
+     * run-management, not machine state).
+     */
+    std::uint64_t checkpointFingerprint() const;
+
+    /** Autosave checkpoints written during run(). */
+    std::uint64_t checkpointsTaken() const { return numCheckpoints; }
+
+    /** True when this system was restored from a checkpoint. */
+    bool restored() const { return restoredState; }
+
     // Results.
     const SampleLog &log() const { return sampleLog; }
     const CounterBank &totals() const { return totalsBank; }
@@ -277,6 +340,16 @@ class System
     Cycles ffCycles = 0;
     Cycles detailCycles = 0;
 
+    /** Consecutive idle-wait cycles (hoisted from run() so it can
+     *  cross a checkpoint: fast-forward timing must not depend on
+     *  whether the run was restored). */
+    Cycles idleStreak = 0;
+
+    double checkpointEverySeconds = 0;
+    std::string autosavePath;
+    bool restoredState = false;
+    std::uint64_t numCheckpoints = 0;
+
     const CancelToken *cancel = nullptr;
 
     /** Tick at which the Drain grace budget expires; 0 = unarmed. */
@@ -293,6 +366,19 @@ class System
 
     /** Skip ahead to the next event, charging bulk idle activity. */
     void fastForwardToNextEvent();
+
+    /** Squash in-flight work and serialize every component. */
+    CheckpointImage buildCheckpointImage();
+
+    /** Load every chunk of a verified image into the components. */
+    void applyCheckpointImage(const CheckpointImage &image);
+
+    /** Fingerprint/version gate; throws CheckpointMismatch. */
+    void checkCheckpointCompatible(const CheckpointImage &image,
+                                   const std::string &source) const;
+
+    /** Autosave one checkpoint to autosavePath. */
+    void takeCheckpoint();
 };
 
 } // namespace softwatt

@@ -1,5 +1,7 @@
 #include "branch_predictor.hh"
 
+#include "core/checkpoint.hh"
+
 namespace softwatt
 {
 
@@ -85,6 +87,51 @@ BranchPredictor::predictAndTrain(const MicroOp &op)
     if (!correct)
         sink.add(op.mode, CounterId::BranchMispred, 1, op.frameTag);
     return correct;
+}
+
+void
+BranchPredictor::saveState(ChunkWriter &out) const
+{
+    out.u64(std::uint64_t(bht.size()));
+    for (std::uint8_t counter : bht)
+        out.u8(counter);
+    out.u64(std::uint64_t(btb.size()));
+    for (const BtbEntry &entry : btb) {
+        out.u64(entry.tag);
+        out.u64(entry.target);
+        out.b(entry.valid);
+    }
+    out.u64(std::uint64_t(ras.size()));
+    for (Addr addr : ras)
+        out.u64(addr);
+    out.u32(std::uint32_t(rasTop));
+    out.u32(std::uint32_t(rasDepth));
+    out.u64(numLookups);
+    out.u64(numMispredicts);
+}
+
+void
+BranchPredictor::loadState(ChunkReader &in)
+{
+    if (in.u64() != bht.size())
+        throw CheckpointError("bpred: BHT size mismatch");
+    for (std::uint8_t &counter : bht)
+        counter = in.u8();
+    if (in.u64() != btb.size())
+        throw CheckpointError("bpred: BTB size mismatch");
+    for (BtbEntry &entry : btb) {
+        entry.tag = in.u64();
+        entry.target = in.u64();
+        entry.valid = in.b();
+    }
+    if (in.u64() != ras.size())
+        throw CheckpointError("bpred: RAS size mismatch");
+    for (Addr &addr : ras)
+        addr = in.u64();
+    rasTop = int(in.u32());
+    rasDepth = int(in.u32());
+    numLookups = in.u64();
+    numMispredicts = in.u64();
 }
 
 } // namespace softwatt

@@ -20,6 +20,9 @@
 namespace softwatt
 {
 
+class ChunkWriter;
+class ChunkReader;
+
 /**
  * BHT + BTB + RAS predictor.
  *
@@ -53,6 +56,10 @@ class BranchPredictor
                    ? 1.0 - double(numMispredicts) / double(numLookups)
                    : 1.0;
     }
+
+    /** Checkpointing: all predictor tables and statistics. */
+    void saveState(ChunkWriter &out) const;
+    void loadState(ChunkReader &in);
 
   private:
     CounterSink &sink;

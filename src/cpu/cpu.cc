@@ -10,6 +10,22 @@ Cpu::Cpu(const MachineParams &params, CacheHierarchy &hierarchy,
 {
 }
 
+void
+Cpu::saveBaseState(ChunkWriter &out) const
+{
+    out.u64(totalCycles);
+    out.u64(totalCommitted);
+    bpred.saveState(out);
+}
+
+void
+Cpu::loadBaseState(ChunkReader &in)
+{
+    totalCycles = in.u64();
+    totalCommitted = in.u64();
+    bpred.loadState(in);
+}
+
 bool
 Cpu::dataTlbLookup(const MicroOp &op)
 {

@@ -23,8 +23,13 @@ namespace softwatt
 
 /**
  * A CPU timing model driven one cycle at a time by the System loop.
+ *
+ * Checkpointable, with a drained-pipeline precondition: the system
+ * squashes in-flight work back to the kernel before saving, so only
+ * persistent model state (totals, predictor tables, sequence
+ * counters) crosses the checkpoint.
  */
-class Cpu
+class Cpu : public Checkpointable
 {
   public:
     Cpu(const MachineParams &params, CacheHierarchy &hierarchy,
@@ -71,6 +76,10 @@ class Cpu
     BranchPredictor &predictor() { return bpred; }
 
   protected:
+    /** Totals + predictor serialization shared by both models. */
+    void saveBaseState(ChunkWriter &out) const;
+    void loadBaseState(ChunkReader &in);
+
     MachineParams params;
     CacheHierarchy &hierarchy;
     Tlb &tlb;

@@ -1,5 +1,7 @@
 #include "inorder_cpu.hh"
 
+#include "sim/check.hh"
+
 namespace softwatt
 {
 
@@ -31,6 +33,24 @@ InOrderCpu::squashAllCollect()
         replay.push_back(current);
     squashAll();
     return replay;
+}
+
+void
+InOrderCpu::saveState(ChunkWriter &out) const
+{
+    SW_CHECK(pipelineEmpty(),
+             "InOrderCpu::saveState: pipeline not drained");
+    saveBaseState(out);
+    out.b(sourceEnded);
+}
+
+void
+InOrderCpu::loadState(ChunkReader &in)
+{
+    SW_CHECK(pipelineEmpty(),
+             "InOrderCpu::loadState: pipeline not drained");
+    loadBaseState(in);
+    sourceEnded = in.b();
 }
 
 void

@@ -33,6 +33,10 @@ class InOrderCpu : public Cpu
     bool pipelineEmpty() const override;
     std::vector<MicroOp> squashAllCollect() override;
 
+    // Checkpointable (requires a drained pipeline).
+    void saveState(ChunkWriter &out) const override;
+    void loadState(ChunkReader &in) override;
+
   private:
     /** Cycles the current instruction still needs before finishing. */
     std::uint64_t busyCycles = 0;

@@ -21,6 +21,9 @@
 namespace softwatt
 {
 
+class ChunkWriter;
+class ChunkReader;
+
 /** Operation classes distinguished by the timing/power models. */
 enum class InstClass : std::uint8_t
 {
@@ -75,6 +78,12 @@ struct MicroOp
 
     bool isBranch() const { return cls == InstClass::Branch; }
 };
+
+/** Checkpointing: serialize one MicroOp field by field. */
+void saveMicroOp(ChunkWriter &out, const MicroOp &op);
+
+/** Checkpointing: the inverse of saveMicroOp(). */
+MicroOp loadMicroOp(ChunkReader &in);
 
 /** What a fetch attempt produced. */
 enum class FetchOutcome

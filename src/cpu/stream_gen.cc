@@ -1,9 +1,105 @@
 #include "stream_gen.hh"
 
+#include "core/checkpoint.hh"
+
 #include "sim/logging.hh"
 
 namespace softwatt
 {
+
+void
+saveMicroOp(ChunkWriter &out, const MicroOp &op)
+{
+    out.u64(op.pc);
+    out.u64(op.memAddr);
+    out.u64(op.target);
+    out.u64(op.syscallArg);
+    out.u8(std::uint8_t(op.cls));
+    out.u8(std::uint8_t(op.mode));
+    out.u8(op.srcA);
+    out.u8(op.srcB);
+    out.u8(op.dst);
+    out.u16(op.syscallId);
+    out.u32(op.asid);
+    out.u32(op.frameTag);
+    out.b(op.taken);
+    out.b(op.isCall);
+    out.b(op.isReturn);
+    out.b(op.kernelMapped);
+}
+
+MicroOp
+loadMicroOp(ChunkReader &in)
+{
+    MicroOp op;
+    op.pc = in.u64();
+    op.memAddr = in.u64();
+    op.target = in.u64();
+    op.syscallArg = in.u64();
+    op.cls = InstClass(in.u8());
+    op.mode = ExecMode(in.u8());
+    op.srcA = in.u8();
+    op.srcB = in.u8();
+    op.dst = in.u8();
+    op.syscallId = in.u16();
+    op.asid = in.u32();
+    op.frameTag = in.u32();
+    op.taken = in.b();
+    op.isCall = in.b();
+    op.isReturn = in.b();
+    op.kernelMapped = in.b();
+    return op;
+}
+
+void
+StreamSpec::saveState(ChunkWriter &out) const
+{
+    out.f64(fracLoad);
+    out.f64(fracStore);
+    out.f64(fracBranch);
+    out.f64(fracFp);
+    out.f64(fracNop);
+    out.u64(codeBase);
+    out.u64(codeFootprint);
+    out.f64(predictability);
+    out.f64(takenProb);
+    out.f64(callFraction);
+    out.u64(dataBase);
+    out.u64(dataFootprint);
+    out.f64(spatialLocality);
+    out.f64(coldAccessProb);
+    out.u64(hotFootprint);
+    out.f64(depProb);
+    out.u32(std::uint32_t(depWindow));
+    out.u8(std::uint8_t(mode));
+    out.b(kernelMapped);
+    out.u32(asid);
+}
+
+void
+StreamSpec::loadState(ChunkReader &in)
+{
+    fracLoad = in.f64();
+    fracStore = in.f64();
+    fracBranch = in.f64();
+    fracFp = in.f64();
+    fracNop = in.f64();
+    codeBase = in.u64();
+    codeFootprint = in.u64();
+    predictability = in.f64();
+    takenProb = in.f64();
+    callFraction = in.f64();
+    dataBase = in.u64();
+    dataFootprint = in.u64();
+    spatialLocality = in.f64();
+    coldAccessProb = in.f64();
+    hotFootprint = in.u64();
+    depProb = in.f64();
+    depWindow = int(in.u32());
+    mode = ExecMode(in.u8());
+    kernelMapped = in.b();
+    asid = in.u32();
+}
 
 StreamGen::StreamGen(const StreamSpec &spec, std::uint64_t seed)
     : streamSpec(spec), rng(seed), pc(spec.codeBase),
@@ -251,6 +347,55 @@ StreamGen::next(MicroOp &op)
 
     ++numGenerated;
     return FetchOutcome::Op;
+}
+
+void
+StreamGen::saveState(ChunkWriter &out) const
+{
+    streamSpec.saveState(out);
+    out.u64(rng.rawState());
+    out.u64(pc);
+    out.u64(nextDataAddr);
+    out.u64(numGenerated);
+    for (std::uint8_t reg : recentDst)
+        out.u8(reg);
+    out.u32(std::uint32_t(recentCount));
+    out.u32(std::uint32_t(nextDstReg));
+    for (Addr addr : callStack)
+        out.u64(addr);
+    out.u32(std::uint32_t(callDepth));
+}
+
+void
+StreamGen::loadState(ChunkReader &in)
+{
+    streamSpec.loadState(in);
+    buildClassPattern();  // spec-derived, rng-free
+    rng.setRawState(in.u64());
+    pc = in.u64();
+    nextDataAddr = in.u64();
+    numGenerated = in.u64();
+    for (std::uint8_t &reg : recentDst)
+        reg = in.u8();
+    recentCount = int(in.u32());
+    nextDstReg = int(in.u32());
+    for (Addr &addr : callStack)
+        addr = in.u64();
+    callDepth = int(in.u32());
+}
+
+void
+BoundedStream::saveState(ChunkWriter &out) const
+{
+    gen.saveState(out);
+    out.u64(remaining);
+}
+
+void
+BoundedStream::loadState(ChunkReader &in)
+{
+    gen.loadState(in);
+    remaining = in.u64();
 }
 
 } // namespace softwatt

@@ -23,6 +23,9 @@
 namespace softwatt
 {
 
+class ChunkWriter;
+class ChunkReader;
+
 /** Shape parameters of a synthetic instruction stream. */
 struct StreamSpec
 {
@@ -73,6 +76,10 @@ struct StreamSpec
     ExecMode mode = ExecMode::User;
     bool kernelMapped = false;
     std::uint32_t asid = 0;
+
+    /** Checkpointing: every shape field, bit-exact. */
+    void saveState(ChunkWriter &out) const;
+    void loadState(ChunkReader &in);
 };
 
 /**
@@ -90,6 +97,16 @@ class StreamGen : public InstSource
     std::uint64_t generated() const { return numGenerated; }
 
     const StreamSpec &spec() const { return streamSpec; }
+
+    /**
+     * Checkpointing: the spec plus all dynamic state. loadState
+     * replaces this generator's spec with the saved one and rebuilds
+     * the (spec-derived, rng-free) class pattern, so a generator
+     * restored into a dummy-constructed instance continues the saved
+     * stream exactly.
+     */
+    void saveState(ChunkWriter &out) const;
+    void loadState(ChunkReader &in);
 
   private:
     StreamSpec streamSpec;
@@ -141,6 +158,10 @@ class BoundedStream : public InstSource
     }
 
     std::uint64_t remainingOps() const { return remaining; }
+
+    /** Checkpointing: the wrapped generator plus the budget. */
+    void saveState(ChunkWriter &out) const;
+    void loadState(ChunkReader &in);
 
   private:
     StreamGen gen;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/check.hh"
 #include "sim/logging.hh"
 
 namespace softwatt
@@ -100,6 +101,30 @@ SuperscalarCpu::squashAll()
     fetchBlockedOnBranch = 0;
     blockedSyscallSeq = 0;
     fetchBusyUntil = 0;
+}
+
+void
+SuperscalarCpu::saveState(ChunkWriter &out) const
+{
+    SW_CHECK(pipelineEmpty(),
+             "SuperscalarCpu::saveState: pipeline not drained");
+    saveBaseState(out);
+    out.b(sourceEnded);
+    out.u64(nextSeq);
+    out.u64(now);
+    out.u64(mispredStalls);
+}
+
+void
+SuperscalarCpu::loadState(ChunkReader &in)
+{
+    SW_CHECK(pipelineEmpty(),
+             "SuperscalarCpu::loadState: pipeline not drained");
+    loadBaseState(in);
+    sourceEnded = in.b();
+    nextSeq = in.u64();
+    now = in.u64();
+    mispredStalls = in.u64();
 }
 
 void

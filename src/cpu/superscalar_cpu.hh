@@ -41,6 +41,10 @@ class SuperscalarCpu : public Cpu
     bool pipelineEmpty() const override;
     std::vector<MicroOp> squashAllCollect() override;
 
+    // Checkpointable (requires a drained pipeline).
+    void saveState(ChunkWriter &out) const override;
+    void loadState(ChunkReader &in) override;
+
     /** Cycles in which fetch was blocked on a mispredicted branch. */
     std::uint64_t mispredictStallCycles() const { return mispredStalls; }
 

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "sim/check.hh"
 #include "sim/logging.hh"
 
 namespace softwatt
@@ -261,29 +262,35 @@ Disk::cancelSpindown()
 }
 
 void
+Disk::onSpindownTimer()
+{
+    spindownScheduled = false;
+    if (currentState != DiskState::Idle || busy ||
+        !pending.empty()) {
+        return;
+    }
+    ++numSpinDowns;
+    transitionTo(DiskState::SpinningDown);
+    queue.scheduleIn(ticksFor(power.spinupSeconds), [this] {
+        if (currentState != DiskState::SpinningDown)
+            return;
+        transitionTo(DiskState::Standby);
+        // A request may have queued while spinning down.
+        if (!pending.empty() && !busy)
+            startNext();
+    });
+}
+
+void
 Disk::armSpindown()
 {
     if (cfg.kind != DiskConfigKind::Spindown)
         return;
     cancelSpindown();
-    spindownEvent = queue.scheduleIn(
-        ticksFor(cfg.spindownThresholdSeconds), [this] {
-            spindownScheduled = false;
-            if (currentState != DiskState::Idle || busy ||
-                !pending.empty()) {
-                return;
-            }
-            ++numSpinDowns;
-            transitionTo(DiskState::SpinningDown);
-            queue.scheduleIn(ticksFor(power.spinupSeconds), [this] {
-                if (currentState != DiskState::SpinningDown)
-                    return;
-                transitionTo(DiskState::Standby);
-                // A request may have queued while spinning down.
-                if (!pending.empty() && !busy)
-                    startNext();
-            });
-        });
+    spindownTick =
+        queue.now() + ticksFor(cfg.spindownThresholdSeconds);
+    spindownEvent =
+        queue.schedule(spindownTick, [this] { onSpindownTimer(); });
     spindownScheduled = true;
 }
 
@@ -406,6 +413,63 @@ Disk::beginService()
                 req.done(DiskIoStatus::Ok);
         });
     });
+}
+
+void
+Disk::saveState(ChunkWriter &out) const
+{
+    SW_CHECK(checkpointSafe(),
+             "Disk::saveState outside a checkpoint-safe state");
+    out.u8(std::uint8_t(currentState));
+    out.u64(lastTransition);
+    out.u64(epochTick);
+    out.f64(accumulatedJ);
+    for (double seconds : stateSecondsAcc)
+        out.f64(seconds);
+    out.u64(numIllegal);
+    out.u8(std::uint8_t(illegalFrom));
+    out.u8(std::uint8_t(illegalTo));
+    out.u64(lastBlock);
+    out.u64(rng.rawState());
+    faultModel.saveState(out);
+    out.b(spindownScheduled);
+    out.u64(spindownEvent);
+    out.u64(spindownTick);
+    out.u64(numRequests);
+    out.u64(numSpinUps);
+    out.u64(numSpinDowns);
+    out.u64(numSeeks);
+    out.u64(numFailed);
+}
+
+void
+Disk::loadState(ChunkReader &in)
+{
+    SW_CHECK(quiescent(), "Disk::loadState with work outstanding");
+    currentState = DiskState(in.u8());
+    lastTransition = in.u64();
+    epochTick = in.u64();
+    accumulatedJ = in.f64();
+    for (double &seconds : stateSecondsAcc)
+        seconds = in.f64();
+    numIllegal = in.u64();
+    illegalFrom = DiskState(in.u8());
+    illegalTo = DiskState(in.u8());
+    lastBlock = in.u64();
+    rng.setRawState(in.u64());
+    faultModel.loadState(in);
+    spindownScheduled = in.b();
+    spindownEvent = in.u64();
+    spindownTick = in.u64();
+    numRequests = in.u64();
+    numSpinUps = in.u64();
+    numSpinDowns = in.u64();
+    numSeeks = in.u64();
+    numFailed = in.u64();
+    if (spindownScheduled) {
+        queue.restoreEvent(spindownTick, spindownEvent,
+                           [this] { onSpindownTimer(); });
+    }
 }
 
 } // namespace softwatt

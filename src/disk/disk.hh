@@ -13,6 +13,7 @@
 #include <functional>
 #include <string>
 
+#include "core/checkpoint.hh"
 #include "sim/event_queue.hh"
 #include "sim/random.hh"
 #include "sim/types.hh"
@@ -121,7 +122,7 @@ struct DiskConfig
  * is integrated against paper-equivalent (uncompressed) time, so
  * reported joules are directly comparable to the paper's Figure 9.
  */
-class Disk
+class Disk : public Checkpointable
 {
   public:
     /**
@@ -212,6 +213,24 @@ class Disk
 
     const DiskConfig &config() const { return cfg; }
 
+    /**
+     * True when the disk can be checkpointed: no request in flight
+     * or queued, and not mid spin-up/spin-down (those phases hold
+     * anonymous completion events that cannot be serialized).
+     */
+    bool
+    checkpointSafe() const
+    {
+        return quiescent() &&
+               currentState != DiskState::SpinningUp &&
+               currentState != DiskState::SpinningDown;
+    }
+
+    // Checkpointable. A pending spindown timer is re-registered with
+    // its original event id during loadState.
+    void saveState(ChunkWriter &out) const override;
+    void loadState(ChunkReader &in) override;
+
   private:
     struct Request
     {
@@ -245,6 +264,9 @@ class Disk
     EventQueue::EventId spindownEvent = 0;
     bool spindownScheduled = false;
 
+    /** Absolute fire tick of the armed spindown timer. */
+    Tick spindownTick = 0;
+
     std::uint64_t numRequests = 0;
     std::uint64_t numSpinUps = 0;
     std::uint64_t numSpinDowns = 0;
@@ -277,6 +299,10 @@ class Disk
 
     void cancelSpindown();
     void armSpindown();
+
+    /** Body of the inactivity-threshold timer (named so a restored
+     *  checkpoint can re-register the event). */
+    void onSpindownTimer();
 };
 
 } // namespace softwatt

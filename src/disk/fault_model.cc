@@ -1,5 +1,7 @@
 #include "fault_model.hh"
 
+#include "core/checkpoint.hh"
+
 #include "sim/logging.hh"
 
 namespace softwatt
@@ -81,6 +83,24 @@ bool
 DiskFaultModel::injectSpinupFailure(double now_equiv_seconds)
 {
     return draw(cfg.spinupFailureRate, now_equiv_seconds, numSpinup);
+}
+
+void
+DiskFaultModel::saveState(ChunkWriter &out) const
+{
+    out.u64(rng.rawState());
+    out.u64(numTransient);
+    out.u64(numSeek);
+    out.u64(numSpinup);
+}
+
+void
+DiskFaultModel::loadState(ChunkReader &in)
+{
+    rng.setRawState(in.u64());
+    numTransient = in.u64();
+    numSeek = in.u64();
+    numSpinup = in.u64();
 }
 
 } // namespace softwatt

@@ -25,6 +25,9 @@
 namespace softwatt
 {
 
+class ChunkWriter;
+class ChunkReader;
+
 /** Completion status of one disk request. */
 enum class DiskIoStatus : std::uint8_t
 {
@@ -102,6 +105,10 @@ class DiskFaultModel
     {
         return numTransient + numSeek + numSpinup;
     }
+
+    /** Checkpointing: decision-stream RNG plus counters. */
+    void saveState(ChunkWriter &out) const;
+    void loadState(ChunkReader &in);
 
   private:
     DiskFaultConfig cfg;

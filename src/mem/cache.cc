@@ -1,5 +1,7 @@
 #include "cache.hh"
 
+#include "core/checkpoint.hh"
+
 #include "sim/logging.hh"
 
 namespace softwatt
@@ -137,6 +139,48 @@ Cache::invalidateLine(Addr addr)
         return true;
     }
     return false;
+}
+
+void
+Cache::saveState(ChunkWriter &out) const
+{
+    // Geometry is derived from the configuration (covered by the
+    // image fingerprint); only dynamic state is stored.
+    out.u64(std::uint64_t(lines.size()));
+    for (const Line &line : lines) {
+        out.u64(line.tag);
+        out.b(line.valid);
+        out.b(line.dirty);
+        out.u64(line.lastUse);
+    }
+    out.u64(useCounter);
+    out.u64(numRefs);
+    out.u64(numHits);
+    out.u64(numMisses);
+    out.u64(numWritebacks);
+}
+
+void
+Cache::loadState(ChunkReader &in)
+{
+    std::uint64_t count = in.u64();
+    if (count != lines.size()) {
+        throw CheckpointError(
+            msg() << cacheName << ": checkpoint has " << count
+                  << " lines, this configuration has "
+                  << lines.size());
+    }
+    for (Line &line : lines) {
+        line.tag = in.u64();
+        line.valid = in.b();
+        line.dirty = in.b();
+        line.lastUse = in.u64();
+    }
+    useCounter = in.u64();
+    numRefs = in.u64();
+    numHits = in.u64();
+    numMisses = in.u64();
+    numWritebacks = in.u64();
 }
 
 } // namespace softwatt

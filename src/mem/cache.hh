@@ -18,6 +18,9 @@
 namespace softwatt
 {
 
+class ChunkWriter;
+class ChunkReader;
+
 /** Outcome of a single cache access. */
 struct CacheAccessResult
 {
@@ -80,6 +83,10 @@ class Cache
     }
 
     std::uint64_t numSets() const { return sets; }
+
+    /** Checkpointing: tag array, LRU clock and statistics. */
+    void saveState(ChunkWriter &out) const;
+    void loadState(ChunkReader &in);
 
   private:
     struct Line

@@ -92,4 +92,22 @@ CacheHierarchy::flushL1(ExecMode mode)
     l1d.invalidateAll();
 }
 
+void
+CacheHierarchy::saveState(ChunkWriter &out) const
+{
+    l1i.saveState(out);
+    l1d.saveState(out);
+    l2.saveState(out);
+    out.u64(numMemAccesses);
+}
+
+void
+CacheHierarchy::loadState(ChunkReader &in)
+{
+    l1i.loadState(in);
+    l1d.loadState(in);
+    l2.loadState(in);
+    numMemAccesses = in.u64();
+}
+
 } // namespace softwatt

@@ -8,6 +8,7 @@
 #ifndef SOFTWATT_MEM_HIERARCHY_HH
 #define SOFTWATT_MEM_HIERARCHY_HH
 
+#include "core/checkpoint.hh"
 #include "sim/counter_sink.hh"
 #include "sim/machine_params.hh"
 #include "sim/types.hh"
@@ -33,7 +34,7 @@ struct MemAccessOutcome
  * miss, DRAM on an L2 miss, plus dirty-victim writebacks, charging
  * each level's reference counters to the requesting execution mode.
  */
-class CacheHierarchy
+class CacheHierarchy : public Checkpointable
 {
   public:
     CacheHierarchy(const MachineParams &params, CounterSink &sink);
@@ -61,6 +62,10 @@ class CacheHierarchy
     const Cache &l2cache() const { return l2; }
 
     std::uint64_t memAccesses() const { return numMemAccesses; }
+
+    // Checkpointable: all three tag arrays plus the DRAM counter.
+    void saveState(ChunkWriter &out) const override;
+    void loadState(ChunkReader &in) override;
 
   private:
     CounterSink &sink;

@@ -1,5 +1,8 @@
 #include "page_table.hh"
 
+#include <algorithm>
+#include <vector>
+
 #include "sim/logging.hh"
 
 namespace softwatt
@@ -24,6 +27,25 @@ bool
 PageTable::map(Addr vaddr)
 {
     return pages.insert(vpn(vaddr)).second;
+}
+
+void
+PageTable::saveState(ChunkWriter &out) const
+{
+    std::vector<Addr> sorted(pages.begin(), pages.end());
+    std::sort(sorted.begin(), sorted.end());
+    out.u64(std::uint64_t(sorted.size()));
+    for (Addr page : sorted)
+        out.u64(page);
+}
+
+void
+PageTable::loadState(ChunkReader &in)
+{
+    pages.clear();
+    std::uint64_t count = in.u64();
+    for (std::uint64_t i = 0; i < count; ++i)
+        pages.insert(in.u64());
 }
 
 } // namespace softwatt

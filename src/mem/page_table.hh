@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <unordered_set>
 
+#include "core/checkpoint.hh"
 #include "sim/types.hh"
 
 namespace softwatt
@@ -20,7 +21,7 @@ namespace softwatt
 /**
  * Sparse page table keyed by virtual page number.
  */
-class PageTable
+class PageTable : public Checkpointable
 {
   public:
     explicit PageTable(int page_bytes = 4096);
@@ -39,6 +40,11 @@ class PageTable
 
     /** Drop all mappings (process teardown). */
     void clear() { pages.clear(); }
+
+    // Checkpointable: mapped VPNs, written in sorted order so the
+    // byte stream is independent of unordered_set iteration order.
+    void saveState(ChunkWriter &out) const override;
+    void loadState(ChunkReader &in) override;
 
   private:
     int pageSize;

@@ -73,4 +73,40 @@ Tlb::invalidateAsid(std::uint32_t asid)
     }
 }
 
+void
+Tlb::saveState(ChunkWriter &out) const
+{
+    out.u64(std::uint64_t(entries.size()));
+    for (const Entry &e : entries) {
+        out.u32(e.asid);
+        out.u64(e.vpn);
+        out.b(e.valid);
+        out.u64(e.lastUse);
+    }
+    out.u64(useCounter);
+    out.u64(numRefs);
+    out.u64(numMisses);
+}
+
+void
+Tlb::loadState(ChunkReader &in)
+{
+    std::uint64_t count = in.u64();
+    if (count != entries.size()) {
+        throw CheckpointError(
+            msg() << "tlb: checkpoint has " << count
+                  << " entries, this configuration has "
+                  << entries.size());
+    }
+    for (Entry &e : entries) {
+        e.asid = in.u32();
+        e.vpn = in.u64();
+        e.valid = in.b();
+        e.lastUse = in.u64();
+    }
+    useCounter = in.u64();
+    numRefs = in.u64();
+    numMisses = in.u64();
+}
+
 } // namespace softwatt

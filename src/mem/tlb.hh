@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/checkpoint.hh"
 #include "sim/types.hh"
 
 namespace softwatt
@@ -23,7 +24,7 @@ namespace softwatt
  * Kernel-mapped (KSEG0-style) addresses bypass the TLB entirely and
  * never reach this class.
  */
-class Tlb
+class Tlb : public Checkpointable
 {
   public:
     explicit Tlb(int num_entries, int page_bytes = 4096);
@@ -50,6 +51,10 @@ class Tlb
 
     /** Virtual page number of an address. */
     Addr vpn(Addr vaddr) const { return vaddr >> pageShift; }
+
+    // Checkpointable: entries, LRU clock and statistics.
+    void saveState(ChunkWriter &out) const override;
+    void loadState(ChunkReader &in) override;
 
   private:
     struct Entry

@@ -1,5 +1,7 @@
 #include "file_system.hh"
 
+#include "core/checkpoint.hh"
+
 #include "sim/logging.hh"
 
 namespace softwatt
@@ -38,6 +40,34 @@ FileSystem::blockOf(std::uint32_t file_id, std::uint64_t offset) const
 {
     const FileInfo &file = info(file_id);
     return file.firstBlock + offset / std::uint64_t(blockSize);
+}
+
+void
+FileSystem::saveState(ChunkWriter &out) const
+{
+    out.u64(nextBlock);
+    out.u64(files.size());
+    for (const FileInfo &file : files) {
+        out.u32(file.fileId);
+        out.u64(file.sizeBytes);
+        out.u64(file.firstBlock);
+    }
+}
+
+void
+FileSystem::loadState(ChunkReader &in)
+{
+    nextBlock = in.u64();
+    std::uint64_t count = in.u64();
+    files.clear();
+    files.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        FileInfo file;
+        file.fileId = in.u32();
+        file.sizeBytes = in.u64();
+        file.firstBlock = in.u64();
+        files.push_back(file);
+    }
 }
 
 FileCache::FileCache(std::size_t capacity_blocks)
@@ -103,6 +133,42 @@ FileCache::clear()
     lru.clear();
     map.clear();
     dirtyCount = 0;
+}
+
+void
+FileCache::saveState(ChunkWriter &out) const
+{
+    out.u64(lru.size());
+    for (const Node &node : lru) {  // front (MRU) to back (LRU)
+        out.u64(node.block);
+        out.b(node.dirty);
+    }
+    out.u64(numHits);
+    out.u64(numLookups);
+}
+
+void
+FileCache::loadState(ChunkReader &in)
+{
+    clear();
+    std::uint64_t count = in.u64();
+    if (count > capacityBlocks) {
+        throw CheckpointError(
+            msg() << "file cache holds " << count
+                  << " blocks in the checkpoint but only "
+                  << capacityBlocks << " fit");
+    }
+    for (std::uint64_t i = 0; i < count; ++i) {
+        Node node;
+        node.block = in.u64();
+        node.dirty = in.b();
+        if (node.dirty)
+            ++dirtyCount;
+        lru.push_back(node);
+        map[node.block] = std::prev(lru.end());
+    }
+    numHits = in.u64();
+    numLookups = in.u64();
 }
 
 } // namespace softwatt

@@ -20,6 +20,9 @@
 namespace softwatt
 {
 
+class ChunkWriter;
+class ChunkReader;
+
 /** A file: identity, length, and location on disk. */
 struct FileInfo
 {
@@ -48,6 +51,10 @@ class FileSystem
 
     int blockBytes() const { return blockSize; }
     std::size_t fileCount() const { return files.size(); }
+
+    /** Checkpointing: allocation cursor plus the file table. */
+    void saveState(ChunkWriter &out) const;
+    void loadState(ChunkReader &in);
 
   private:
     int blockSize;
@@ -93,6 +100,14 @@ class FileCache
     {
         return numLookups ? double(numHits) / double(numLookups) : 0;
     }
+
+    /**
+     * Checkpointing: the LRU list is written front (most recent) to
+     * back and the block map rebuilt on load, so recency order — and
+     * therefore every future eviction — survives the round trip.
+     */
+    void saveState(ChunkWriter &out) const;
+    void loadState(ChunkReader &in);
 
   private:
     struct Node

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "sim/check.hh"
 #include "sim/logging.hh"
 
 #include "syscalls.hh"
@@ -74,12 +75,18 @@ Kernel::scheduleClockTick()
         Cycles(sim_seconds * machine.freqMhz * 1e6);
     if (delta == 0)
         delta = 1;
-    queue.scheduleIn(delta, [this] {
-        if (!clockRunning)
-            return;
-        pendingClockInt = true;
-        scheduleClockTick();
-    });
+    nextClockTick = queue.now() + delta;
+    clockEvent =
+        queue.schedule(nextClockTick, [this] { onClockTick(); });
+}
+
+void
+Kernel::onClockTick()
+{
+    if (!clockRunning)
+        return;
+    pendingClockInt = true;
+    scheduleClockTick();
 }
 
 void
@@ -508,6 +515,81 @@ Kernel::totalServiceCycles() const
     for (const ServiceStats &s : stats)
         sum += s.cycles;
     return sum;
+}
+
+void
+Kernel::saveState(ChunkWriter &out) const
+{
+    SW_CHECK(checkpointSafe(),
+             "Kernel::saveState with live service frames");
+    out.u64(rng.rawState());
+    out.u64(serviceSeed);
+    out.u32(nextFrameTag);
+    out.b(userDone);
+    out.u32(userAsid);
+    out.b(pendingClockInt);
+    out.u64(numClockInts);
+    out.b(clockRunning);
+    if (clockRunning) {
+        out.u64(nextClockTick);
+        out.u64(clockEvent);
+    }
+    for (const ServiceStats &entry : stats)
+        entry.saveState(out);
+    out.u64(numDiskFaults);
+    out.u64(numDiskRetries);
+    out.u64(numDiskGiveUps);
+    out.b(ioFailureInfo.failed);
+    out.u64(ioFailureInfo.block);
+    out.u32(ioFailureInfo.numBlocks);
+    out.u32(std::uint32_t(ioFailureInfo.attempts));
+    out.u8(std::uint8_t(ioFailureInfo.lastStatus));
+    out.u64(baseReplay.size());
+    for (const MicroOp &op : baseReplay)
+        saveMicroOp(out, op);
+    fileSystem.saveState(out);
+    bufferCache.saveState(out);
+    pages.saveState(out);
+    idleStream.saveState(out);
+}
+
+void
+Kernel::loadState(ChunkReader &in)
+{
+    SW_CHECK(checkpointSafe(),
+             "Kernel::loadState with live service frames");
+    rng.setRawState(in.u64());
+    serviceSeed = in.u64();
+    nextFrameTag = in.u32();
+    userDone = in.b();
+    userAsid = in.u32();
+    pendingClockInt = in.b();
+    numClockInts = in.u64();
+    clockRunning = in.b();
+    if (clockRunning) {
+        nextClockTick = in.u64();
+        clockEvent = in.u64();
+        queue.restoreEvent(nextClockTick, clockEvent,
+                           [this] { onClockTick(); });
+    }
+    for (ServiceStats &entry : stats)
+        entry.loadState(in);
+    numDiskFaults = in.u64();
+    numDiskRetries = in.u64();
+    numDiskGiveUps = in.u64();
+    ioFailureInfo.failed = in.b();
+    ioFailureInfo.block = in.u64();
+    ioFailureInfo.numBlocks = in.u32();
+    ioFailureInfo.attempts = int(in.u32());
+    ioFailureInfo.lastStatus = DiskIoStatus(in.u8());
+    baseReplay.clear();
+    std::uint64_t replay_count = in.u64();
+    for (std::uint64_t i = 0; i < replay_count; ++i)
+        baseReplay.push_back(loadMicroOp(in));
+    fileSystem.loadState(in);
+    bufferCache.loadState(in);
+    pages.loadState(in);
+    idleStream.loadState(in);
 }
 
 } // namespace softwatt

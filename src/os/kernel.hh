@@ -15,6 +15,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/checkpoint.hh"
 #include "cpu/kernel_iface.hh"
 #include "cpu/stream_gen.hh"
 #include "disk/disk.hh"
@@ -40,7 +41,8 @@ namespace softwatt
  * and its service identity, which is what lets SoftWatt report
  * per-mode and per-service power (Tables 2-5, Figures 6 and 8).
  */
-class Kernel : public KernelIface, public IoContext
+class Kernel : public KernelIface, public IoContext,
+               public Checkpointable
 {
   public:
     /**
@@ -192,6 +194,21 @@ class Kernel : public KernelIface, public IoContext
     /** Diagnostics of the first abandoned request. */
     const IoFailure &ioFailure() const { return ioFailureInfo; }
 
+    /**
+     * True when the kernel can be checkpointed: no service frames on
+     * the stack. Frames hold closures (completion callbacks, blocked
+     * I/O services, retry backoff timers) that cannot be serialized;
+     * between invocations only plain data remains.
+     */
+    bool checkpointSafe() const { return stack.empty(); }
+
+    // Checkpointable. A running clock tick is re-registered with its
+    // original event id during loadState. The user program pointer is
+    // not serialized: the caller re-attaches the (restored) workload
+    // before loading kernel state.
+    void saveState(ChunkWriter &out) const override;
+    void loadState(ChunkReader &in) override;
+
   private:
     /** One suspended-or-active service invocation. */
     struct Frame
@@ -240,6 +257,10 @@ class Kernel : public KernelIface, public IoContext
     bool pendingClockInt = false;
     bool clockRunning = false;
     std::uint64_t numClockInts = 0;
+
+    /** Absolute fire tick and id of the pending clock-tick event. */
+    Tick nextClockTick = 0;
+    EventQueue::EventId clockEvent = 0;
     std::uint64_t serviceSeed = 1;
     std::uint32_t nextFrameTag = 1;
 
@@ -278,6 +299,10 @@ class Kernel : public KernelIface, public IoContext
     void stashReplay(std::vector<MicroOp> replay);
 
     void scheduleClockTick();
+
+    /** Body of the periodic timer event (named so a restored
+     *  checkpoint can re-register the event). */
+    void onClockTick();
 };
 
 } // namespace softwatt

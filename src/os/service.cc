@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "core/checkpoint.hh"
+
 #include "sim/logging.hh"
 
 namespace softwatt
@@ -101,6 +103,34 @@ ServiceStats::avgPowerW(double freq_hz) const
         return 0;
     double seconds = double(cycles) / freq_hz;
     return energyJ / seconds;
+}
+
+void
+ServiceStats::saveState(ChunkWriter &out) const
+{
+    out.u64(invocations);
+    out.u64(cycles);
+    out.f64(energyJ);
+    for (double j : componentEnergyJ)
+        out.f64(j);
+    out.f64(energySum);
+    out.f64(energySumSq);
+    out.f64(energyMin);
+    out.f64(energyMax);
+}
+
+void
+ServiceStats::loadState(ChunkReader &in)
+{
+    invocations = in.u64();
+    cycles = in.u64();
+    energyJ = in.f64();
+    for (double &j : componentEnergyJ)
+        j = in.f64();
+    energySum = in.f64();
+    energySumSq = in.f64();
+    energyMin = in.f64();
+    energyMax = in.f64();
 }
 
 } // namespace softwatt

@@ -16,6 +16,9 @@
 namespace softwatt
 {
 
+class ChunkWriter;
+class ChunkReader;
+
 /**
  * The operating system services the paper attributes kernel time and
  * energy to (Table 4).
@@ -89,6 +92,10 @@ struct ServiceStats
 
     /** Average power over the service's own cycles, watts. */
     double avgPowerW(double freq_hz) const;
+
+    /** Checkpointing: every accumulator, bit-exact. */
+    void saveState(ChunkWriter &out) const;
+    void loadState(ChunkReader &in);
 };
 
 } // namespace softwatt

@@ -80,6 +80,14 @@ class SequenceStream : public InstSource
 
     FetchOutcome next(MicroOp &op) override;
 
+    // Checkpoint access: the owner (who knows the concrete part
+    // types it appended) serializes each part and the cursor.
+    std::size_t partCount() const { return parts.size(); }
+    InstSource &part(std::size_t i) { return *parts[i]; }
+    const InstSource &part(std::size_t i) const { return *parts[i]; }
+    std::size_t partIndex() const { return index; }
+    void setPartIndex(std::size_t i) { index = i; }
+
   private:
     std::vector<std::unique_ptr<InstSource>> parts;
     std::size_t index = 0;

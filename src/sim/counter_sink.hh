@@ -14,6 +14,9 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/checkpoint.hh"
+
+#include "check.hh"
 #include "counters.hh"
 #include "types.hh"
 
@@ -100,6 +103,31 @@ class CounterSink
     addCycles(std::uint64_t n)
     {
         add(cycleModeValue, CounterId::Cycles, n, cycleTagValue);
+    }
+
+    /**
+     * Checkpointing. Per-invocation banks are owned by live kernel
+     * service frames, which cannot exist at a checkpoint-safe point,
+     * so only the global bank and the cycle attribution are saved.
+     */
+    void
+    saveState(ChunkWriter &out) const
+    {
+        SW_CHECK(banks.empty(),
+                 "CounterSink::saveState with live service banks");
+        globalBank.saveState(out);
+        out.u8(std::uint8_t(cycleModeValue));
+        out.u32(cycleTagValue);
+    }
+
+    void
+    loadState(ChunkReader &in)
+    {
+        SW_CHECK(banks.empty(),
+                 "CounterSink::loadState with live service banks");
+        globalBank.loadState(in);
+        cycleModeValue = ExecMode(in.u8());
+        cycleTagValue = in.u32();
     }
 
   private:

@@ -1,5 +1,7 @@
 #include "counters.hh"
 
+#include "core/checkpoint.hh"
+
 #include "logging.hh"
 
 namespace softwatt
@@ -68,6 +70,24 @@ CounterBank::accumulate(const CounterBank &other)
     for (int m = 0; m < numExecModes; ++m)
         for (int c = 0; c < numCounters; ++c)
             values[m][c] += other.values[m][c];
+}
+
+void
+CounterBank::saveState(ChunkWriter &out) const
+{
+    out.u32(std::uint32_t(currentMode));
+    for (const auto &row : values)
+        for (std::uint64_t cell : row)
+            out.u64(cell);
+}
+
+void
+CounterBank::loadState(ChunkReader &in)
+{
+    currentMode = int(in.u32());
+    for (auto &row : values)
+        for (std::uint64_t &cell : row)
+            cell = in.u64();
 }
 
 } // namespace softwatt

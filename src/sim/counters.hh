@@ -20,6 +20,9 @@
 namespace softwatt
 {
 
+class ChunkWriter;
+class ChunkReader;
+
 /**
  * Identifiers for every hardware event the power models consume.
  *
@@ -121,6 +124,10 @@ class CounterBank
 
     /** Element-wise accumulate another bank into this one. */
     void accumulate(const CounterBank &other);
+
+    /** Checkpointing: the current mode plus the whole matrix. */
+    void saveState(ChunkWriter &out) const;
+    void loadState(ChunkReader &in);
 
   private:
     int currentMode = 0;

@@ -1,5 +1,7 @@
 #include "event_queue.hh"
 
+#include "core/checkpoint.hh"
+
 #include "check.hh"
 #include "logging.hh"
 
@@ -71,6 +73,40 @@ EventQueue::advanceTo(Tick target)
         entry.cb();
     }
     currentTick = target;
+}
+
+void
+EventQueue::saveState(ChunkWriter &out) const
+{
+    out.u64(currentTick);
+    out.u64(nextId);
+    out.u64(executedCount);
+}
+
+void
+EventQueue::loadState(ChunkReader &in)
+{
+    // Checkpoints are taken at quiescent points where every live
+    // event is owned by a component that re-registers it during its
+    // own restore; the heap must be empty here.
+    SW_CHECK(liveCount == 0 && heap.empty(),
+             "EventQueue::loadState on a non-empty queue");
+    currentTick = in.u64();
+    nextId = in.u64();
+    executedCount = in.u64();
+}
+
+void
+EventQueue::restoreEvent(Tick when, EventId id, Callback cb)
+{
+    SW_CHECK(when >= currentTick,
+             msg() << "restoreEvent: event in the past: " << when
+                   << " < " << currentTick);
+    SW_CHECK(id < nextId,
+             msg() << "restoreEvent: id " << id << " does not "
+                   << "predate the saved id counter " << nextId);
+    heap.push(Entry{when, id, std::move(cb)});
+    ++liveCount;
 }
 
 Tick

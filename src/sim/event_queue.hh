@@ -18,6 +18,9 @@
 namespace softwatt
 {
 
+class ChunkWriter;
+class ChunkReader;
+
 /**
  * Time-ordered queue of callbacks.
  *
@@ -74,6 +77,23 @@ class EventQueue
 
     /** Number of events executed since construction. */
     std::uint64_t eventsExecuted() const { return executedCount; }
+
+    /**
+     * Checkpointing. Callbacks are opaque closures, so the queue
+     * serializes only its clock and id counters; each component that
+     * had a live event at the checkpoint re-registers it afterwards
+     * with restoreEvent(), quoting the original id so the heap's
+     * same-tick tie-breaking (smaller id first) is preserved exactly.
+     */
+    void saveState(ChunkWriter &out) const;
+    void loadState(ChunkReader &in);
+
+    /**
+     * Re-register an event captured in a checkpoint under its
+     * original id. @p when must be >= now() and @p id must predate
+     * the saved id counter.
+     */
+    void restoreEvent(Tick when, EventId id, Callback cb);
 
   private:
     struct Entry

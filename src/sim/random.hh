@@ -81,6 +81,16 @@ class Random
         return n;
     }
 
+    /** Internal generator state, for checkpointing. */
+    std::uint64_t rawState() const { return state; }
+
+    /** Restore a state captured by rawState(). */
+    void
+    setRawState(std::uint64_t raw)
+    {
+        state = raw ? raw : 0x9e3779b97f4a7c15ull;
+    }
+
   private:
     std::uint64_t state;
 };

@@ -4,8 +4,36 @@
 #include <ostream>
 #include <sstream>
 
+#include "core/checkpoint.hh"
+
 namespace softwatt
 {
+
+void
+SampleLog::saveState(ChunkWriter &out) const
+{
+    out.u64(records.size());
+    for (const SampleRecord &rec : records) {
+        out.u64(rec.startTick);
+        out.u64(rec.endTick);
+        rec.counters.saveState(out);
+    }
+}
+
+void
+SampleLog::loadState(ChunkReader &in)
+{
+    records.clear();
+    std::uint64_t count = in.u64();
+    records.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        SampleRecord rec;
+        rec.startTick = in.u64();
+        rec.endTick = in.u64();
+        rec.counters.loadState(in);
+        records.push_back(std::move(rec));
+    }
+}
 
 CounterBank
 SampleLog::totals() const

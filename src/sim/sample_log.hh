@@ -23,6 +23,9 @@
 namespace softwatt
 {
 
+class ChunkWriter;
+class ChunkReader;
+
 /** One sampling window of the simulation log. */
 struct SampleRecord
 {
@@ -68,6 +71,10 @@ class SampleLog
 
     /** Parse a CSV produced by writeCsv(). Returns false on error. */
     static bool readCsv(std::istream &in, SampleLog &out);
+
+    /** Checkpointing: every closed window, bit-exact. */
+    void saveState(ChunkWriter &out) const;
+    void loadState(ChunkReader &in);
 
   private:
     std::vector<SampleRecord> records;

@@ -46,8 +46,11 @@ SignalGuard::SignalGuard(CancelToken &token)
     // is fine (futures are signal-agnostic), but interruptible I/O
     // should see EINTR rather than hang past a cancellation.
     action.sa_flags = 0;
+    // SIGHUP takes the same path as SIGTERM: a vanished controlling
+    // terminal means "wrap up", not "die mid-write".
     if (sigaction(SIGINT, &action, &previousInt) != 0 ||
-        sigaction(SIGTERM, &action, &previousTerm) != 0) {
+        sigaction(SIGTERM, &action, &previousTerm) != 0 ||
+        sigaction(SIGHUP, &action, &previousHup) != 0) {
         activeToken.store(nullptr, std::memory_order_release);
         panic("SignalGuard: sigaction failed");
     }
@@ -57,6 +60,7 @@ SignalGuard::~SignalGuard()
 {
     sigaction(SIGINT, &previousInt, nullptr);
     sigaction(SIGTERM, &previousTerm, nullptr);
+    sigaction(SIGHUP, &previousHup, nullptr);
     activeToken.store(nullptr, std::memory_order_release);
 }
 

@@ -1,13 +1,16 @@
 /**
  * @file
  * The one place in SoftWatt that may install process signal
- * handlers. A SignalGuard routes SIGINT/SIGTERM into a CancelToken:
- * the first signal escalates the token to Drain (the experiment
- * runner stops dispatching runs and lets in-flight work finish up to
- * its grace budget), the second to Hard (in-flight runs stop at
- * their next sample-window boundary). The guard restores the
- * previous handlers on destruction, so signal disposition never
- * leaks past the experiment that installed it.
+ * handlers. A SignalGuard routes SIGINT/SIGTERM/SIGHUP into a
+ * CancelToken: the first signal escalates the token to Drain (the
+ * experiment runner stops dispatching runs and lets in-flight work
+ * finish up to its grace budget), the second to Hard (in-flight runs
+ * stop at their next sample-window boundary). SIGHUP gets the same
+ * graceful-drain treatment as SIGTERM so a closed terminal or a
+ * dropped ssh connection checkpoints and journals in-flight work
+ * instead of killing the sweep. The guard restores the previous
+ * handlers on destruction, so signal disposition never leaks past
+ * the experiment that installed it.
  *
  * The determinism linter (tools/lint, rule raw-signal) bans
  * signal()/sigaction() everywhere else: ad-hoc handlers would race
@@ -25,7 +28,7 @@ namespace softwatt
 {
 
 /**
- * RAII installer of the SIGINT/SIGTERM -> CancelToken bridge.
+ * RAII installer of the SIGINT/SIGTERM/SIGHUP -> CancelToken bridge.
  *
  * Only one guard may be active at a time (the experiment runner
  * creates one per runExperiment call); nesting panics. The token
@@ -49,6 +52,7 @@ class SignalGuard
   private:
     struct sigaction previousInt;
     struct sigaction previousTerm;
+    struct sigaction previousHup;
 };
 
 } // namespace softwatt

@@ -2,6 +2,7 @@
 
 #include "os/service_streams.hh"
 #include "os/syscalls.hh"
+#include "sim/check.hh"
 #include "sim/logging.hh"
 
 namespace softwatt
@@ -421,6 +422,114 @@ Workload::advance(MicroOp &op)
         return false;
     }
     return false;
+}
+
+namespace
+{
+
+// Segment type tags in a workload chunk.
+constexpr std::uint8_t segmentNone = 0;
+constexpr std::uint8_t segmentBounded = 1;
+constexpr std::uint8_t segmentSequence = 2;
+
+/** A BoundedStream shell for loadState to fill. */
+std::unique_ptr<BoundedStream>
+emptyBoundedStream()
+{
+    return std::make_unique<BoundedStream>(StreamSpec{}, 0, 0);
+}
+
+} // namespace
+
+void
+Workload::saveState(ChunkWriter &out) const
+{
+    out.u64(rng.rawState());
+    out.u8(std::uint8_t(phase));
+    out.u64(numEmitted);
+    out.u32(std::uint32_t(loadFileIndex));
+    out.u64(loadOffset);
+    out.b(loadOpened);
+    out.u32(std::uint32_t(jitDone));
+    out.u64(mainEmitted);
+    out.u64(sinceGc);
+    out.u64(gcFreshBase);
+    out.u64(nextColdBurst);
+    out.u64(coldOffset);
+    out.u64(pendingSyscalls.size());
+    for (const MicroOp &op : pendingSyscalls)
+        saveMicroOp(out, op);
+
+    if (!segment) {
+        out.u8(segmentNone);
+        return;
+    }
+    if (auto *bounded =
+            dynamic_cast<const BoundedStream *>(segment.get())) {
+        out.u8(segmentBounded);
+        bounded->saveState(out);
+        return;
+    }
+    auto *seq = dynamic_cast<const SequenceStream *>(segment.get());
+    SW_CHECK(seq != nullptr,
+             "workload segment is neither bounded nor a sequence");
+    out.u8(segmentSequence);
+    out.u64(seq->partCount());
+    out.u64(seq->partIndex());
+    for (std::size_t i = 0; i < seq->partCount(); ++i) {
+        auto *part =
+            dynamic_cast<const BoundedStream *>(&seq->part(i));
+        SW_CHECK(part != nullptr,
+                 "workload sequence part is not a bounded stream");
+        part->saveState(out);
+    }
+}
+
+void
+Workload::loadState(ChunkReader &in)
+{
+    SW_CHECK(filesRegistered,
+             "Workload::loadState before registerFiles()");
+    rng.setRawState(in.u64());
+    phase = Phase(in.u8());
+    numEmitted = in.u64();
+    loadFileIndex = int(in.u32());
+    loadOffset = in.u64();
+    loadOpened = in.b();
+    jitDone = int(in.u32());
+    mainEmitted = in.u64();
+    sinceGc = in.u64();
+    gcFreshBase = in.u64();
+    nextColdBurst = std::size_t(in.u64());
+    coldOffset = in.u64();
+    pendingSyscalls.clear();
+    std::uint64_t pending_count = in.u64();
+    for (std::uint64_t i = 0; i < pending_count; ++i)
+        pendingSyscalls.push_back(loadMicroOp(in));
+
+    std::uint8_t tag = in.u8();
+    if (tag == segmentNone) {
+        segment.reset();
+    } else if (tag == segmentBounded) {
+        auto bounded = emptyBoundedStream();
+        bounded->loadState(in);
+        segment = std::move(bounded);
+    } else if (tag == segmentSequence) {
+        auto seq = std::make_unique<SequenceStream>();
+        std::uint64_t part_count = in.u64();
+        std::uint64_t part_index = in.u64();
+        for (std::uint64_t i = 0; i < part_count; ++i) {
+            auto part = emptyBoundedStream();
+            part->loadState(in);
+            seq->append(std::move(part));
+        }
+        seq->setPartIndex(std::size_t(part_index));
+        segment = std::move(seq);
+    } else {
+        throw CheckpointError(
+            msg() << "workload chunk has unknown segment tag "
+                  << int(tag));
+    }
 }
 
 FetchOutcome

@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "core/checkpoint.hh"
 #include "cpu/inst.hh"
 #include "cpu/stream_gen.hh"
 #include "os/file_system.hh"
@@ -96,7 +97,7 @@ struct AddrRange
  * A runnable benchmark: the InstSource fed to the kernel as the user
  * program.
  */
-class Workload : public InstSource
+class Workload : public InstSource, public Checkpointable
 {
   public:
     explicit Workload(const WorkloadSpec &spec);
@@ -122,6 +123,14 @@ class Workload : public InstSource
      * first-touch through vfault/demand_zero.
      */
     std::vector<AddrRange> premapRanges() const;
+
+    // Checkpointable. File ids are not serialized: they are assigned
+    // deterministically by registerFiles(), which must have run (on
+    // the same spec) before loadState(). The current stream segment
+    // is saved with a type tag — the workload only ever runs
+    // BoundedStreams, alone or inside a SequenceStream.
+    void saveState(ChunkWriter &out) const override;
+    void loadState(ChunkReader &in) override;
 
   private:
     enum class Phase

@@ -261,6 +261,33 @@ TEST(RunnerResilience, SignalGuardInstallsAndRestoresHandlers)
     EXPECT_FALSE(SignalGuard::active());
 }
 
+TEST(RunnerResilience, SighupDrainsLikeSigterm)
+{
+    // A closed terminal or dropped ssh session (SIGHUP) must get the
+    // same graceful-drain treatment as SIGTERM: in-flight work is
+    // journaled and autosaved instead of dying mid-write.
+    struct sigaction before = {};
+    ASSERT_EQ(sigaction(SIGHUP, nullptr, &before), 0);
+
+    CancelToken token;
+    {
+        SignalGuard guard(token);
+        ASSERT_EQ(raise(SIGHUP), 0);
+        EXPECT_EQ(token.level(), CancelToken::Drain);
+        ASSERT_EQ(raise(SIGHUP), 0);
+        EXPECT_EQ(token.level(), CancelToken::Hard);
+        EXPECT_EQ(SignalGuard::deliveredSignals(), 2);
+    }
+    EXPECT_FALSE(SignalGuard::active());
+
+    // Disposition is restored on guard destruction; a stray SIGHUP
+    // handler leaking past the experiment would break every harness
+    // run under nohup.
+    struct sigaction after = {};
+    ASSERT_EQ(sigaction(SIGHUP, nullptr, &after), 0);
+    EXPECT_EQ(before.sa_handler, after.sa_handler);
+}
+
 TEST(RunnerResilience, SpecFingerprintTracksConfigChanges)
 {
     RunSpec a;
