@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Energy-vs-performance Pareto frontier under the closed-loop DVFS
+ * governor: one unconstrained baseline plus one run per power
+ * budget. Tightening the budget drives the governor down the
+ * voltage/frequency ladder, trading run time for energy; the
+ * frontier is the curve that trade sweeps out. Checks that the
+ * frontier is monotone — as the budget falls, run time never shrinks
+ * and total energy never grows — and that the governor demonstrably
+ * changed the operating point mid-run for at least one budget.
+ *
+ * Usage: bench_pareto [bench=mtrt] [scale=0.2]
+ *                     [budgets=8,7,6,5] [out=pareto.json]
+ */
+
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/runner.hh"
+#include "sim/logging.hh"
+
+using namespace softwatt;
+
+namespace
+{
+
+std::vector<double>
+parseBudgets(const std::string &text)
+{
+    std::vector<double> budgets;
+    std::stringstream in(text);
+    std::string item;
+    while (std::getline(in, item, ','))
+        budgets.push_back(std::stod(item));
+    return budgets;
+}
+
+struct FrontierPoint
+{
+    std::string label;
+    double seconds = 0;
+    double energyJ = 0;
+    const DvfsGovernor *governor = nullptr;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliArgs cli = parseCliArgs(argc, argv);
+    if (cli.shouldExit)
+        return cli.exitCode;
+    Config &args = cli.config;
+    std::string bench_name = args.getString("bench", "mtrt");
+    double scale = args.getDouble("scale", 0.2);
+    std::vector<double> budgets =
+        parseBudgets(args.getString("budgets", "8,7,6,5"));
+    if (budgets.size() < 2)
+        fatal("budgets= must list at least two budgets to sweep "
+              "a frontier");
+    for (std::size_t i = 1; i < budgets.size(); ++i) {
+        if (budgets[i] >= budgets[i - 1])
+            fatal("budgets= must be strictly decreasing");
+    }
+    ExperimentSpec spec = ExperimentSpec::fromArgs("pareto", args);
+    Benchmark bench = benchmarkByName(bench_name);
+
+    SystemConfig base_config = SystemConfig::fromConfig(args);
+    spec.add(bench, base_config, scale, "unconstrained");
+    for (double budget : budgets) {
+        SystemConfig config = base_config;
+        config.dvfsEnabled = true;
+        config.powerBudgetW = budget;
+        std::ostringstream variant;
+        variant << budget << "W";
+        spec.add(bench, config, scale, variant.str());
+    }
+
+    std::cout << "=== Energy/performance Pareto frontier ===\n("
+              << bench_name << ", scale " << scale << ", "
+              << budgets.size() << " budgets + baseline)\n\n";
+
+    ExperimentResult result = runExperiment(spec);
+
+    std::vector<FrontierPoint> frontier;
+    for (std::size_t i = 0; i < result.size(); ++i) {
+        const BenchmarkRun &run = result.at(i);
+        if (!run.hasData()) {
+            std::cout << "run " << i << " produced no data ("
+                      << runOutcomeName(run.result.outcome)
+                      << ")\n";
+            return 1;
+        }
+        FrontierPoint p;
+        p.label = run.variant;
+        p.seconds = run.breakdown.seconds();
+        p.energyJ = run.breakdown.cpuMemEnergyJ() +
+                    run.breakdown.diskEnergyJ;
+        p.governor = run.system->dvfsGovernor();
+        frontier.push_back(p);
+    }
+
+    std::cout << std::right << std::setw(16) << "budget"
+              << std::setw(14) << "time (s)" << std::setw(14)
+              << "energy (J)" << std::setw(10) << "avg W"
+              << std::setw(8) << "deep" << std::setw(8) << "steps"
+              << '\n';
+    for (const FrontierPoint &p : frontier) {
+        std::cout << std::right << std::setw(16) << p.label
+                  << std::setw(14) << std::scientific
+                  << std::setprecision(4) << p.seconds
+                  << std::setw(14) << p.energyJ << std::setw(10)
+                  << std::fixed << std::setprecision(2)
+                  << p.energyJ / p.seconds;
+        if (p.governor) {
+            std::cout << std::setw(8) << p.governor->deepestLevel()
+                      << std::setw(8)
+                      << p.governor->stepsDown() +
+                             p.governor->stepsUp();
+        } else {
+            std::cout << std::setw(8) << "-" << std::setw(8) << "-";
+        }
+        std::cout << '\n';
+    }
+
+    // Monotonicity: as the budget tightens (left to right in the
+    // frontier vector), time must not shrink and energy must not
+    // grow. A hair of tolerance absorbs the discreteness of the
+    // ladder (a budget that never binds reproduces the baseline).
+    bool monotone = true;
+    for (std::size_t i = 1; i < frontier.size(); ++i) {
+        const FrontierPoint &prev = frontier[i - 1];
+        const FrontierPoint &cur = frontier[i];
+        if (cur.seconds < prev.seconds * (1 - 1e-9)) {
+            std::cout << "\nNOT monotone: " << cur.label
+                      << " runs faster than " << prev.label << " ("
+                      << cur.seconds << " s < " << prev.seconds
+                      << " s)\n";
+            monotone = false;
+        }
+        if (cur.energyJ > prev.energyJ * (1 + 1e-9)) {
+            std::cout << "\nNOT monotone: " << cur.label
+                      << " uses more energy than " << prev.label
+                      << " (" << cur.energyJ << " J > "
+                      << prev.energyJ << " J)\n";
+            monotone = false;
+        }
+    }
+
+    bool governed = false;
+    for (const FrontierPoint &p : frontier) {
+        if (p.governor && p.governor->stepsDown() > 0)
+            governed = true;
+    }
+
+    std::cout << "\nfrontier monotone: "
+              << (monotone ? "yes" : "NO")
+              << "; governor changed frequency mid-run: "
+              << (governed ? "yes" : "NO") << '\n';
+    if (!monotone || !governed)
+        return 1;
+    return result.exitCode();
+}

@@ -3,14 +3,27 @@
  * Engineering microbenchmarks (google-benchmark): throughput of the
  * simulator's hot paths — cache tag lookups, TLB searches, the
  * stream generator, both CPU models, and the disk state machine.
+ *
+ * With --simspeed-json=PATH the binary instead runs one full-system
+ * benchmark on each CPU model, measures host simulation speed (MIPS:
+ * committed instructions per host second), and writes the numbers as
+ * a schema-versioned JSON document — the tracked simulation-speed
+ * baseline (BENCH_simspeed.json at the repo root).
  */
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstring>
+#include <fstream>
 #include <memory>
 #include <utility>
 
+#include "core/experiment.hh"
+#include "core/json_writer.hh"
+#include "core/system.hh"
 #include "cpu/inorder_cpu.hh"
+#include "sim/logging.hh"
 #include "cpu/stream_gen.hh"
 #include "cpu/superscalar_cpu.hh"
 #include "disk/disk.hh"
@@ -161,6 +174,76 @@ BM_WorkloadGen(benchmark::State &state)
 }
 BENCHMARK(BM_WorkloadGen);
 
+/**
+ * Full-system simulation speed of one CPU model: host wall-clock
+ * MIPS over a short jess run. Host time is inherently
+ * non-deterministic, so this is a tracked engineering number, not a
+ * simulation result — the JSON records both the host measurement and
+ * the deterministic simulated quantities next to it.
+ */
+void
+writeModelSpeed(JsonWriter &json, CpuModel model, const char *name)
+{
+    SystemConfig config;
+    config.cpuModel = model;
+    auto start = std::chrono::steady_clock::now();
+    BenchmarkRun run = runBenchmark(Benchmark::Jess, config, 0.1);
+    auto stop = std::chrono::steady_clock::now();
+    double host_s =
+        std::chrono::duration<double>(stop - start).count();
+    std::uint64_t insts = run.system->cpu().committedInsts();
+
+    json.key(name);
+    json.beginObject();
+    json.member("host_seconds", host_s);
+    json.member("committed_insts", insts);
+    json.member("sim_cycles", std::uint64_t(run.system->now()));
+    json.member("mips", host_s > 0 ? insts / host_s / 1e6 : 0.0);
+    json.member("sim_khz",
+                host_s > 0
+                    ? double(run.system->now()) / host_s / 1e3
+                    : 0.0);
+    json.endObject();
+}
+
+int
+runSimspeedJson(const char *path)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal(msg() << "cannot open " << path << " for writing");
+    {
+        JsonWriter json(out);
+        json.beginObject();
+        json.member("schema", "softwatt-bench-simspeed-v1");
+        json.member("bench", "jess");
+        json.member("scale", 0.1);
+        json.key("models");
+        json.beginObject();
+        writeModelSpeed(json, CpuModel::InOrder, "mipsy");
+        writeModelSpeed(json, CpuModel::Superscalar, "mxs");
+        json.endObject();
+        json.endObject();
+    }
+    out << '\n';
+    return out ? 0 : 1;
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    constexpr const char *kJsonFlag = "--simspeed-json=";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], kJsonFlag,
+                         std::strlen(kJsonFlag)) == 0)
+            return runSimspeedJson(argv[i] + std::strlen(kJsonFlag));
+    }
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -1,23 +1,47 @@
 /**
  * @file
- * Voltage/frequency design-space exploration using the analytical
- * power models: sweeps (Vdd, f) operating points, runs one benchmark
- * at each, and reports delay, energy and the energy-delay product —
- * the circuit-level lever (supply voltage scaling) the paper's
- * introduction places underneath the architectural techniques it
- * evaluates.
+ * Closed-loop DVFS exploration: sweeps the governor's power budget
+ * and runs one benchmark at each, with the kernel-visible power
+ * meter feeding the frequency/voltage governor every sample window.
+ * Contrast with the original open-loop variant of this example,
+ * which pinned each run to a fixed (Vdd, f) point: here the machine
+ * picks its own operating point, stepping down the ladder when a
+ * window's measured system power exceeds the budget and back up when
+ * there is headroom — the feedback loop the paper's introduction
+ * places underneath OS-directed power management.
  *
  * Usage: dvfs_explorer [bench=mtrt] [scale=0.2]
+ *                      [budgets=8,7,6,5]
  */
 
 #include <iomanip>
 #include <iostream>
 #include <sstream>
+#include <string>
 #include <vector>
 
 #include "core/runner.hh"
+#include "sim/logging.hh"
 
 using namespace softwatt;
+
+namespace
+{
+
+std::vector<double>
+parseBudgets(const std::string &text)
+{
+    std::vector<double> budgets;
+    std::stringstream in(text);
+    std::string item;
+    while (std::getline(in, item, ','))
+        budgets.push_back(std::stod(item));
+    if (budgets.empty())
+        fatal("budgets= must list at least one power budget in W");
+    return budgets;
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -28,76 +52,72 @@ main(int argc, char **argv)
     Config &args = cli.config;
     std::string bench_name = args.getString("bench", "mtrt");
     double scale = args.getDouble("scale", 0.2);
+    std::vector<double> budgets =
+        parseBudgets(args.getString("budgets", "8,7,6,5"));
     ExperimentSpec spec = ExperimentSpec::fromArgs("dvfs", args);
     Benchmark bench = benchmarkByName(bench_name);
 
-    // Era-plausible operating points: voltage must drop with
-    // frequency (the classic alpha-power delay constraint).
-    struct OperatingPoint
-    {
-        double mhz;
-        double vdd;
-    };
-    std::vector<OperatingPoint> points = {
-        {200, 3.3}, {166, 3.0}, {133, 2.7}, {100, 2.4}, {66, 2.1},
-    };
-
     SystemConfig base_config = SystemConfig::fromConfig(args);
-    for (const OperatingPoint &point : points) {
+
+    // Unconstrained baseline: no governor, nominal point throughout.
+    spec.add(bench, base_config, scale, "unconstrained");
+    for (double budget : budgets) {
         SystemConfig config = base_config;
-        config.machine.freqMhz = point.mhz;
-        config.machine.vdd = point.vdd;
-        config.useCalibratedPower = false;  // scale with Vdd/f
+        config.dvfsEnabled = true;
+        config.powerBudgetW = budget;
         std::ostringstream variant;
-        variant << point.mhz << "MHz";
+        variant << budget << "W";
         spec.add(bench, config, scale, variant.str());
     }
 
-    std::cout << "DVFS exploration: " << bench_name << " (scale "
-              << scale << ", analytical power models)\n\n";
+    std::cout << "Closed-loop DVFS exploration: " << bench_name
+              << " (scale " << scale << ")\n\n";
 
     ExperimentResult result = runExperiment(spec);
 
-    std::cout << std::right << std::setw(8) << "MHz" << std::setw(8)
-              << "Vdd" << std::setw(14) << "time (s)"
-              << std::setw(14) << "energy (J)" << std::setw(14)
-              << "EDP (mJs)" << std::setw(10) << "avg W" << '\n';
+    std::cout << std::right << std::setw(14) << "budget (W)"
+              << std::setw(14) << "time (s)" << std::setw(14)
+              << "energy (J)" << std::setw(10) << "avg W"
+              << std::setw(8) << "level" << std::setw(8) << "deep"
+              << std::setw(8) << "down" << std::setw(8) << "up"
+              << '\n';
 
-    double best_edp = 1e300;
-    OperatingPoint best{0, 0};
     for (std::size_t i = 0; i < result.size(); ++i) {
-        const OperatingPoint &point = points[i];
         const BenchmarkRun &run = result.at(i);
+        std::string label = "none";
+        if (i > 0)
+            label = msg() << budgets[i - 1];
         if (!run.hasData()) {
-            std::cout << std::right << std::setw(8) << std::fixed
-                      << std::setprecision(0) << point.mhz
+            std::cout << std::right << std::setw(14) << label
                       << "  (no data: "
-                      << runOutcomeName(run.result.outcome)
-                      << ")\n";
+                      << runOutcomeName(run.result.outcome) << ")\n";
             continue;
         }
-        double seconds = double(run.system->now()) /
-                         (point.mhz * 1e6);
-        double energy = run.breakdown.cpuMemEnergyJ();
-        double edp = seconds * energy;
-        if (edp < best_edp) {
-            best_edp = edp;
-            best = point;
-        }
-        std::cout << std::right << std::setw(8) << std::fixed
-                  << std::setprecision(0) << point.mhz
-                  << std::setw(8) << std::setprecision(1) << point.vdd
+        double seconds = run.breakdown.seconds();
+        double energy = run.breakdown.cpuMemEnergyJ() +
+                        run.breakdown.diskEnergyJ;
+        const DvfsGovernor *gov = run.system->dvfsGovernor();
+        std::cout << std::right << std::setw(14) << label
                   << std::setw(14) << std::scientific
                   << std::setprecision(3) << seconds << std::setw(14)
-                  << energy << std::setw(14) << edp * 1e3
-                  << std::setw(10) << std::fixed
-                  << std::setprecision(2) << energy / seconds << '\n';
+                  << energy << std::setw(10) << std::fixed
+                  << std::setprecision(2) << energy / seconds;
+        if (gov) {
+            std::cout << std::setw(8) << gov->level() << std::setw(8)
+                      << gov->deepestLevel() << std::setw(8)
+                      << gov->stepsDown() << std::setw(8)
+                      << gov->stepsUp();
+        } else {
+            std::cout << std::setw(8) << "-" << std::setw(8) << "-"
+                      << std::setw(8) << "-" << std::setw(8) << "-";
+        }
+        std::cout << '\n';
     }
-    std::cout << "\nBest EDP at " << best.mhz << " MHz / " << best.vdd
-              << " V.\nNote: simulated *work* is identical at every "
-                 "point; only the clock and the supply move. Disk "
-                 "timing is expressed in wall-clock seconds, so "
-                 "slower clocks also change the compute/disk "
-                 "overlap, as they would in a real system.\n";
+    std::cout << "\nThe governor observes each closed sample window "
+                 "through the kernel power meter and moves one "
+                 "ladder rung per window: down past the budget, up "
+                 "under " << 100 * 0.9 << "% of it. Tighter budgets "
+                 "trade run time for energy; the ladder pairs each "
+                 "frequency with the lowest era-plausible supply.\n";
     return result.exitCode();
 }

@@ -68,6 +68,13 @@ usageText(const char *argv0)
                  << " [key=value ...]\n"
                     "  e.g. scale=0.1 disk.config=spindown "
                     "disk.threshold_s=2 cpu.model=mipsy seed=7\n"
+                    "  power keys: power_budget_w=W (power budget "
+                    "for the DVFS governor),\n"
+                    "              dvfs=1 (closed-loop DVFS "
+                    "governor; needs power_budget_w=),\n"
+                    "              adaptive_spindown=1 (adaptive "
+                    "disk spin-down threshold;\n"
+                    "              needs disk.config=spindown)\n"
                     "  runner keys: jobs=N (worker threads, "
                     "default hardware concurrency),\n"
                     "               out=results.json (structured "

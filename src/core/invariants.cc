@@ -56,6 +56,7 @@ struct LogCursorState
 {
     std::size_t seen = 0;        ///< Windows already validated.
     std::size_t seenCycles = 0;  ///< Cursor of the partition check.
+    std::size_t seenStream = 0;  ///< Cursor of the stream-match check.
     Tick lastEnd = 0;            ///< endTick of the last seen window.
     bool haveLastEnd = false;
 
@@ -140,9 +141,13 @@ registerSystemInvariants(InvariantChecker &checker, const System &sys)
                 ExecMode mode = ExecMode(m);
                 Cycles mode_cycles =
                     rec.counters.get(mode, CounterId::Cycles);
+                // energiesForRecord applies the window's operating
+                // point (DVFS voltage/frequency scaling), so the
+                // accumulated sums stay comparable to the power pass
+                // under a closed-loop governor.
                 ComponentEnergy e =
-                    sys.powerCalculator().energiesForMode(
-                        rec.counters, mode, mode_cycles);
+                    sys.powerCalculator().energiesForRecord(
+                        rec, mode, mode_cycles);
                 for (int c = 0; c < numComponents; ++c) {
                     if (!std::isfinite(e[c]) || e[c] < 0) {
                         return msg()
@@ -220,12 +225,80 @@ registerSystemInvariants(InvariantChecker &checker, const System &sys)
         return "";
     });
 
-    // The power pass is a pure function of the log: re-running it
-    // must reproduce the incrementally accumulated per-window sums,
-    // and mode/component views must partition the same total.
+    // The streaming accumulator keeps pace with the log — one window
+    // per record — and each window's average powers, re-derived
+    // independently from the record's counters and operating point,
+    // match what the stream produced when the window closed.
+    checker.add("power.stream-window-match",
+                [&sys, state]() -> std::string {
+        const SampleLog &log = sys.log();
+        const PowerTrace &trace = sys.streamTrace();
+        if (trace.windows.size() != log.size()) {
+            return msg() << "stream has " << trace.windows.size()
+                         << " window(s) but the log has "
+                         << log.size();
+        }
+        double freq_hz =
+            sys.powerCalculator().model().technology().freqHz();
+        for (; state->seenStream < log.size();
+             ++state->seenStream) {
+            const SampleRecord &rec = log.at(state->seenStream);
+            const WindowPower &wp =
+                trace.windows[state->seenStream];
+            if (wp.startTick != rec.startTick ||
+                wp.endTick != rec.endTick) {
+                return msg() << "window " << state->seenStream
+                             << " spans [" << wp.startTick << ", "
+                             << wp.endTick << ") in the stream but ["
+                             << rec.startTick << ", " << rec.endTick
+                             << ") in the log";
+            }
+            double window_seconds =
+                double(rec.length()) / freq_hz;
+            ComponentEnergy comp_j{};
+            for (int m = 0; m < numExecModes; ++m) {
+                ExecMode mode = ExecMode(m);
+                Cycles mode_cycles =
+                    rec.counters.get(mode, CounterId::Cycles);
+                ComponentEnergy e =
+                    sys.powerCalculator().energiesForRecord(
+                        rec, mode, mode_cycles);
+                double mode_j = 0;
+                for (int c = 0; c < numComponents; ++c) {
+                    comp_j[c] += e[c];
+                    mode_j += e[c];
+                }
+                // Mode power is averaged over the mode's own
+                // cycles, not the whole window.
+                double mode_seconds =
+                    double(mode_cycles) / freq_hz;
+                double mode_w =
+                    mode_seconds > 0 ? mode_j / mode_seconds : 0;
+                if (!invariantApproxEqual(wp.modePowerW[m],
+                                          mode_w)) {
+                    return mismatch(execModeName(mode),
+                                    wp.modePowerW[m], mode_w);
+                }
+            }
+            for (int c = 0; c < numComponents; ++c) {
+                double comp_w = comp_j[c] / window_seconds;
+                if (!invariantApproxEqual(wp.componentPowerW[c],
+                                          comp_w)) {
+                    return mismatch(componentName(Component(c)),
+                                    wp.componentPowerW[c], comp_w);
+                }
+            }
+        }
+        return "";
+    });
+
+    // The power pass conserves energy: the incrementally accumulated
+    // per-window sums equal the stream's running totals, and
+    // mode/component views partition the same total. Reads the live
+    // stream accumulator — O(1) per sweep, no batch recompute.
     checker.add("energy.conservation",
                 [&sys, state]() -> std::string {
-        PowerTrace trace = sys.powerTrace();
+        const PowerTrace &trace = sys.streamTrace();
         double total = trace.total.cpuMemEnergyJ();
         if (!invariantApproxEqual(total, state->grandJ))
             return mismatch("cpu+mem total J", total, state->grandJ);

@@ -406,7 +406,25 @@ writeRunJson(JsonWriter &json, const BenchmarkRun &run)
     json.member("faults", sys.kernel().diskFaults());
     json.member("retries", sys.kernel().diskRetries());
     json.member("give_ups", sys.kernel().diskGiveUps());
+    if (const AdaptiveSpindownPolicy *sp = sys.spindownPolicy()) {
+        json.member("adaptive_threshold_s", sp->thresholdSeconds());
+        json.member("threshold_adjustments", sp->adjustments());
+    }
     json.endObject();
+
+    if (const DvfsGovernor *gov = sys.dvfsGovernor()) {
+        json.key("dvfs");
+        json.beginObject();
+        json.member("budget_w", gov->budgetW());
+        json.member("level", std::uint64_t(gov->level()));
+        json.member("deepest_level",
+                    std::uint64_t(gov->deepestLevel()));
+        json.member("steps_down", gov->stepsDown());
+        json.member("steps_up", gov->stepsUp());
+        json.member("throttled_cycles",
+                    std::uint64_t(sys.throttledCycles()));
+        json.endObject();
+    }
 
     json.endObject();
 }

@@ -79,6 +79,12 @@ SystemConfig::fromConfig(const Config &config)
     sc.kernelParams.haltOnIdle =
         config.getBool("halt_on_idle", sc.kernelParams.haltOnIdle);
 
+    sc.powerBudgetW =
+        config.getDouble("power_budget_w", sc.powerBudgetW);
+    sc.dvfsEnabled = config.getBool("dvfs", sc.dvfsEnabled);
+    sc.adaptiveSpindown =
+        config.getBool("adaptive_spindown", sc.adaptiveSpindown);
+
     sc.validate();
 
     // A set-but-never-read key is almost always a typo (the store
@@ -128,6 +134,21 @@ SystemConfig::validate() const
         fatal(msg() << "config: disk.threshold_s must be > 0 for "
                     << "the spindown policy (got "
                     << diskConfig.spindownThresholdSeconds << ")");
+    }
+    if (!(powerBudgetW >= 0) || powerBudgetW > 1e6) {
+        fatal(msg() << "config: power_budget_w must be a finite "
+                    << "value in [0, 1e6] watts (got " << powerBudgetW
+                    << "); 0 means no budget");
+    }
+    if (dvfsEnabled && powerBudgetW <= 0) {
+        fatal("config: dvfs=1 needs a positive power_budget_w= "
+              "budget for the governor to regulate against");
+    }
+    if (adaptiveSpindown &&
+        diskConfig.kind != DiskConfigKind::Spindown) {
+        fatal("config: adaptive_spindown=1 requires "
+              "disk.config=spindown (disk.threshold_s seeds the "
+              "adaptive threshold)");
     }
     diskConfig.fault.validate("config");
     kernelParams.diskRetry.validate("config");
@@ -191,10 +212,21 @@ System::System(const SystemConfig &config) : cfg(config)
     power = std::make_unique<CpuPowerModel>(cfg.machine,
                                             cfg.useCalibratedPower);
     calculator = std::make_unique<PowerCalculator>(*power);
+    stream = std::make_unique<PowerStream>(*calculator);
 
     machineKernel->setEnergyFn([this](const CounterBank &bank) {
         return calculator->componentEnergiesOf(bank);
     });
+    machineKernel->setPowerMeter(this);
+
+    if (cfg.dvfsEnabled) {
+        governor = std::make_unique<DvfsGovernor>(
+            cfg.machine.freqMhz, cfg.machine.vdd, cfg.powerBudgetW);
+    }
+    if (cfg.adaptiveSpindown) {
+        spindown = std::make_unique<AdaptiveSpindownPolicy>(
+            cfg.diskConfig.spindownThresholdSeconds);
+    }
 
     registerSystemInvariants(checker, *this);
 }
@@ -214,6 +246,18 @@ System::attachWorkload(std::unique_ptr<Workload> wl)
     machineKernel->setUserProgram(workload.get());
 }
 
+double
+System::currentFreqMhz() const
+{
+    return governor ? governor->point().freqMhz : cfg.machine.freqMhz;
+}
+
+double
+System::currentVdd() const
+{
+    return governor ? governor->point().vdd : cfg.machine.vdd;
+}
+
 void
 System::closeWindow(Tick end_tick)
 {
@@ -222,12 +266,63 @@ System::closeWindow(Tick end_tick)
     SampleRecord record;
     record.startTick = windowStart;
     record.endTick = end_tick;
+    record.freqMhz = currentFreqMhz();
+    record.vdd = currentVdd();
     record.counters = sink.global();
     totalsBank.accumulate(record.counters);
     sampleLog.append(std::move(record));
     sink.global().clear();
     windowStart = end_tick;
+
+    // Stream the window through the incremental power pass and
+    // publish it as the machine's power reading before the invariant
+    // sweep, so the sweep can check the stream against the log.
+    const SampleRecord &rec = sampleLog.all().back();
+    const WindowPower &wp = stream->onWindow(rec);
+    updateMeter(rec, wp);
+    runPowerPolicies();
+
     checker.checkAll("sample-boundary");
+}
+
+void
+System::updateMeter(const SampleRecord &rec, const WindowPower &wp)
+{
+    meterReading.windowIndex = sampleLog.size() - 1;
+    meterReading.startTick = rec.startTick;
+    meterReading.endTick = rec.endTick;
+    meterReading.cpuMemPowerW = wp.cpuMemPowerW();
+
+    // Disk energy integrates against paper-equivalent time; divide
+    // by the compression factor so the window's disk power is
+    // consistent with the CPU-side (sim-time) powers — the same
+    // pricing breakdown() applies to the whole run.
+    double disk_j = machineDisk->energyJ();
+    double delta_j = (disk_j - lastDiskEnergyJ) / cfg.timeScale;
+    lastDiskEnergyJ = disk_j;
+    double window_s =
+        double(rec.length()) / (cfg.machine.freqMhz * 1e6);
+    meterReading.diskPowerW = window_s > 0 ? delta_j / window_s : 0;
+
+    meterReading.systemPowerW =
+        meterReading.cpuMemPowerW + meterReading.diskPowerW;
+    meterReading.freqMhz = rec.freqMhz;
+    meterReading.vdd = rec.vdd;
+    meterReading.valid = true;
+}
+
+void
+System::runPowerPolicies()
+{
+    if (governor && governor->observe(meterReading)) {
+        // The governor's decision ran in the kernel: account one
+        // power-meter read (the reading it acted on) as a service.
+        machineKernel->pollPowerMeter();
+    }
+    if (spindown && spindown->observe(machineDisk->spinUps())) {
+        machineDisk->setSpindownThreshold(
+            spindown->thresholdSeconds());
+    }
 }
 
 void
@@ -293,6 +388,27 @@ ticksFromSeconds(double seconds, double freq_mhz)
 }
 
 } // namespace
+
+bool
+System::throttledCpuCycle()
+{
+    // Duty-cycle throttle: a tick stays one nominal-frequency cycle
+    // (disk and event timing are unaffected), but the core executes
+    // on only dutyNum of every dutyDen ticks. The integer
+    // accumulator makes the stall pattern an exact function of the
+    // tick count. Stall ticks charge one cycle to the current
+    // execution mode so per-mode Cycles still partition the window.
+    const DvfsGovernor::Point &p = governor->point();
+    dutyAcc += p.dutyNum;
+    if (dutyAcc >= p.dutyDen) {
+        dutyAcc -= p.dutyDen;
+        ++detailCycles;
+        return machineCpu->cycle();
+    }
+    sink.addCycle();
+    ++throttleCycles;
+    return true;
+}
 
 bool
 System::cancellationRequested(RunResult &result)
@@ -386,8 +502,13 @@ System::run()
             break;
         }
 
-        bool alive = machineCpu->cycle();
-        ++detailCycles;
+        bool alive;
+        if (governor) {
+            alive = throttledCpuCycle();
+        } else {
+            alive = machineCpu->cycle();
+            ++detailCycles;
+        }
         queue.advanceTo(queue.now() + 1);
 
         bool window_closed = false;
@@ -509,7 +630,8 @@ System::checkpointFingerprint() const
           t.openSyncLength, t.xstatLength, t.duPollLength,
           t.bsdLength, t.clockLength, t.clockSyncLength,
           t.ioSyncLength, t.ioSetupLength, t.ioFinishLength,
-          t.errorRecoveryLength, t.errorRecoverySyncLength}) {
+          t.errorRecoveryLength, t.errorRecoverySyncLength,
+          t.powerReadLength}) {
         w.u64(len);
     }
     w.f64(t.openMetadataMissProb);
@@ -523,6 +645,9 @@ System::checkpointFingerprint() const
     w.u64(cfg.idleFastForwardAfter);
     w.u64(cfg.maxCycles);
     w.b(cfg.clockInterrupts);
+    w.f64(cfg.powerBudgetW);
+    w.b(cfg.dvfsEnabled);
+    w.b(cfg.adaptiveSpindown);
 
     const WorkloadSpec &wl = workload->spec();
     w.str(wl.name);
@@ -545,6 +670,7 @@ System::checkpointFingerprint() const
     w.f64(wl.sys.bsdPerMInst);
     w.f64(wl.sys.duPollPerMInst);
     w.f64(wl.sys.openPerMInst);
+    w.f64(wl.sys.powerPollPerMInst);
     w.u64(wl.seed);
     w.u64(wl.coldBurstFracs.size());
     for (double frac : wl.coldBurstFracs)
@@ -596,6 +722,22 @@ System::buildCheckpointImage()
         w.u64(ffCycles);
         w.u64(detailCycles);
     });
+    // Power subsystem: meter reading, throttle and policy state.
+    // The stream accumulator itself is NOT serialized — it is a pure
+    // function of the sample log and is rebuilt by re-streaming the
+    // restored log (applyCheckpointImage).
+    chunk("power", [&](ChunkWriter &w) {
+        meterReading.saveState(w);
+        w.f64(lastDiskEnergyJ);
+        w.u64(dutyAcc);
+        w.u64(throttleCycles);
+        w.b(governor != nullptr);
+        if (governor)
+            governor->saveState(w);
+        w.b(spindown != nullptr);
+        if (spindown)
+            spindown->saveState(w);
+    });
     return image;
 }
 
@@ -610,7 +752,7 @@ System::applyCheckpointImage(const CheckpointImage &image)
     std::vector<const char *> needed = {
         "event-queue", "caches", "tlb",      "disk",
         "kernel",      "workload", "counters", "sample-log",
-        "system"};
+        "system",      "power"};
     if (!warm_start)
         needed.push_back("cpu");
     for (const char *name : needed) {
@@ -662,6 +804,50 @@ System::applyCheckpointImage(const CheckpointImage &image)
         ffCycles = r.u64();
         detailCycles = r.u64();
     });
+    apply("power", [&](ChunkReader &r) {
+        meterReading.loadState(r);
+        lastDiskEnergyJ = r.f64();
+        dutyAcc = r.u64();
+        throttleCycles = r.u64();
+        bool had_governor = r.b();
+        if (had_governor != (governor != nullptr)) {
+            throw CheckpointError(
+                msg() << "checkpoint "
+                      << (had_governor ? "has" : "lacks")
+                      << " DVFS governor state but this run "
+                      << (governor ? "enables" : "disables")
+                      << " the governor");
+        }
+        if (governor)
+            governor->loadState(r);
+        bool had_spindown = r.b();
+        if (had_spindown != (spindown != nullptr)) {
+            throw CheckpointError(
+                msg() << "checkpoint "
+                      << (had_spindown ? "has" : "lacks")
+                      << " adaptive spin-down state but this run "
+                      << (spindown ? "enables" : "disables")
+                      << " the policy");
+        }
+        if (spindown)
+            spindown->loadState(r);
+    });
+    // The policy threshold lives outside the disk's own chunk; push
+    // the restored value back so the next arming uses it.
+    if (spindown)
+        machineDisk->setSpindownThreshold(spindown->thresholdSeconds());
+    // The stream accumulator is a pure function of the sample log:
+    // replay the restored log so subsequent windows (and the batch
+    // trace) continue bit-identically.
+    rebuildPowerStream();
+}
+
+void
+System::rebuildPowerStream()
+{
+    stream->beginRun();
+    for (const SampleRecord &rec : sampleLog.all())
+        stream->onWindow(rec);
 }
 
 void
@@ -805,6 +991,28 @@ System::dumpStats(std::ostream &out) const
     line("kernel.clock_interrupts",
          double(machineKernel->clockInterrupts()),
          "timer interrupts taken");
+    if (governor) {
+        line("sim.throttled_cycles", double(throttleCycles),
+             "cycles stalled by the DVFS duty-cycle throttle");
+        line("dvfs.budget_w", governor->budgetW(),
+             "governor power budget");
+        line("dvfs.level", double(governor->level()),
+             "final DVFS ladder level (0 = nominal)");
+        line("dvfs.deepest_level", double(governor->deepestLevel()),
+             "deepest DVFS ladder level reached");
+        line("dvfs.steps_down", double(governor->stepsDown()),
+             "governor frequency reductions");
+        line("dvfs.steps_up", double(governor->stepsUp()),
+             "governor frequency restorations");
+    }
+    if (spindown) {
+        line("disk.adaptive_threshold_s",
+             spindown->thresholdSeconds(),
+             "final adaptive spin-down threshold");
+        line("disk.threshold_adjustments",
+             double(spindown->adjustments()),
+             "adaptive spin-down threshold changes");
+    }
     for (ServiceKind kind : allServices) {
         const ServiceStats &svc = machineKernel->serviceStats(kind);
         if (svc.invocations == 0)
@@ -817,7 +1025,11 @@ System::dumpStats(std::ostream &out) const
 PowerTrace
 System::powerTrace() const
 {
-    return calculator->process(sampleLog);
+    // Served from the incremental stream: every sample-log append is
+    // immediately followed by stream->onWindow(), so the accumulator
+    // always equals calculator->process(sampleLog) bit-for-bit (the
+    // batch path is itself a wrapper over the same streaming code).
+    return stream->trace();
 }
 
 double

@@ -18,6 +18,8 @@
 #include "mem/hierarchy.hh"
 #include "mem/tlb.hh"
 #include "os/kernel.hh"
+#include "os/power_governor.hh"
+#include "os/power_meter.hh"
 #include "power/cpu_power.hh"
 #include "power/power_calculator.hh"
 #include "sim/cancel.hh"
@@ -67,6 +69,29 @@ struct SystemConfig
 
     /** Enable the periodic timer interrupt. */
     bool clockInterrupts = true;
+
+    /**
+     * Whole-system power budget in watts for the closed-loop DVFS
+     * governor; 0 = no budget. Required (> 0) when dvfs is on.
+     */
+    double powerBudgetW = 0.0;
+
+    /**
+     * Close the power loop: a window-granular DVFS governor walks
+     * the frequency/voltage ladder against powerBudgetW, throttling
+     * the cycle loop and re-pricing the sample log's windows at the
+     * chosen operating point.
+     */
+    bool dvfsEnabled = false;
+
+    /**
+     * Adapt the disk spin-down threshold online (replacing the
+     * static Table-5 sweep value): back off after observed
+     * spin-ups, tighten over quiet windows. Requires
+     * disk.config=spindown; the configured disk.threshold_s is the
+     * starting point.
+     */
+    bool adaptiveSpindown = false;
 
     /**
      * Per-run budget in simulated seconds (cycles / core clock);
@@ -143,8 +168,12 @@ struct RunResult
 
 /**
  * A complete simulated machine plus its power models.
+ *
+ * Implements PowerMeter: the streaming power pass closes each sample
+ * window into a PowerReading that the kernel (PowerRead service) and
+ * the feedback policies observe while the machine runs.
  */
-class System
+class System : public PowerMeter
 {
   public:
     explicit System(const SystemConfig &config);
@@ -243,8 +272,33 @@ class System
     const SampleLog &log() const { return sampleLog; }
     const CounterBank &totals() const { return totalsBank; }
 
-    /** Post-process the log into the power trace. */
+    /**
+     * The power trace of the run so far. Served from the streaming
+     * pass's accumulator (no re-processing); bit-identical to
+     * powerCalculator().process(log()) by construction.
+     */
     PowerTrace powerTrace() const;
+
+    /** Live view of the streaming pass's accumulated trace. */
+    const PowerTrace &streamTrace() const { return stream->trace(); }
+
+    // PowerMeter: the last closed window's power reading.
+    const PowerReading &lastReading() const override
+    {
+        return meterReading;
+    }
+
+    /** The DVFS governor, or null when dvfs is off. */
+    const DvfsGovernor *dvfsGovernor() const
+    {
+        return governor.get();
+    }
+
+    /** The adaptive spin-down policy, or null when off. */
+    const AdaptiveSpindownPolicy *spindownPolicy() const
+    {
+        return spindown.get();
+    }
 
     /**
      * Totals with disk energy injected. @p conventional_disk reports
@@ -308,6 +362,9 @@ class System
     /** Cycles executed in detail. */
     Cycles detailedCycles() const { return detailCycles; }
 
+    /** Stall ticks inserted by the DVFS duty-cycle throttle. */
+    Cycles throttledCycles() const { return throttleCycles; }
+
     /**
      * Dump performance statistics (IPC, miss rates, predictor
      * accuracy, TLB/service/disk activity) in gem5-style
@@ -326,11 +383,27 @@ class System
     std::unique_ptr<Cpu> machineCpu;
     std::unique_ptr<CpuPowerModel> power;
     std::unique_ptr<PowerCalculator> calculator;
+    std::unique_ptr<PowerStream> stream;
     std::unique_ptr<Workload> workload;
 
     SampleLog sampleLog;
     CounterBank totalsBank;
     Tick windowStart = 0;
+
+    /** Last closed window's reading (PowerMeter). */
+    PowerReading meterReading;
+
+    /** Disk energy at the previous window boundary (for deltas). */
+    double lastDiskEnergyJ = 0;
+
+    std::unique_ptr<DvfsGovernor> governor;
+    std::unique_ptr<AdaptiveSpindownPolicy> spindown;
+
+    /** Duty-cycle accumulator of the DVFS throttle. */
+    std::uint64_t dutyAcc = 0;
+
+    /** Stall ticks inserted by the throttle. */
+    Cycles throttleCycles = 0;
 
     InvariantChecker checker;
 
@@ -357,6 +430,22 @@ class System
 
     /** Close the current sample window at @p end_tick. */
     void closeWindow(Tick end_tick);
+
+    /** Operating point the core is currently running at. */
+    double currentFreqMhz() const;
+    double currentVdd() const;
+
+    /** Fold a freshly closed window into the power meter. */
+    void updateMeter(const SampleRecord &rec, const WindowPower &wp);
+
+    /** Run the window-boundary feedback policies. */
+    void runPowerPolicies();
+
+    /** One tick of the cycle loop, through the DVFS throttle. */
+    bool throttledCpuCycle();
+
+    /** Replay the restored sample log through the power stream. */
+    void rebuildPowerStream();
 
     /**
      * Window-boundary cancellation poll: fills @p result and

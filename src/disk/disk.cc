@@ -282,6 +282,18 @@ Disk::onSpindownTimer()
 }
 
 void
+Disk::setSpindownThreshold(double seconds)
+{
+    if (cfg.kind != DiskConfigKind::Spindown)
+        return;
+    if (!(seconds > 0)) {
+        fatal(msg() << "disk spin-down threshold must be > 0 "
+                    << "seconds (got " << seconds << ")");
+    }
+    cfg.spindownThresholdSeconds = seconds;
+}
+
+void
 Disk::armSpindown()
 {
     if (cfg.kind != DiskConfigKind::Spindown)

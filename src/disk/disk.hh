@@ -214,6 +214,17 @@ class Disk : public Checkpointable
     const DiskConfig &config() const { return cfg; }
 
     /**
+     * Re-tune the spin-down threshold (adaptive policy). Takes
+     * effect the next time the idle timer is armed; an already-armed
+     * timer keeps its original deadline, so the change is a pure
+     * function of when it was made. No-op for non-spindown disks.
+     * The threshold is part of the adaptive policy's state, not the
+     * machine configuration, so it is serialized by the policy and
+     * re-applied after restore.
+     */
+    void setSpindownThreshold(double seconds);
+
+    /**
      * True when the disk can be checkpointed: no request in flight
      * or queued, and not mid spin-up/spin-down (those phases hold
      * anonymous completion events that cannot be serialized).

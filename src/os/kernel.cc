@@ -373,8 +373,22 @@ Kernel::syscall(const MicroOp &op)
                         hierarchy.flushL1(ExecMode::KernelInst);
                     });
         return;
+      case SyscallId::PowerRead:
+        pollPowerMeter();
+        return;
     }
     warn(msg() << "unknown syscall id " << op.syscallId);
+}
+
+void
+Kernel::pollPowerMeter()
+{
+    if (meter)
+        lastPowerRead = meter->lastReading();
+    pushService(ServiceKind::PowerRead,
+                makeFixedService(ServiceKind::PowerRead, cfg.tuning,
+                                 serviceSeed++),
+                {});
 }
 
 bool
@@ -551,6 +565,7 @@ Kernel::saveState(ChunkWriter &out) const
     bufferCache.saveState(out);
     pages.saveState(out);
     idleStream.saveState(out);
+    lastPowerRead.saveState(out);
 }
 
 void
@@ -590,6 +605,7 @@ Kernel::loadState(ChunkReader &in)
     bufferCache.loadState(in);
     pages.loadState(in);
     idleStream.loadState(in);
+    lastPowerRead.loadState(in);
 }
 
 } // namespace softwatt

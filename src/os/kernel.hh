@@ -27,6 +27,7 @@
 #include "sim/machine_params.hh"
 
 #include "file_system.hh"
+#include "power_meter.hh"
 #include "service.hh"
 #include "service_streams.hh"
 
@@ -129,6 +130,28 @@ class Kernel : public KernelIface, public IoContext,
         std::function<std::array<double, numComponents>(
             const CounterBank &)>;
     void setEnergyFn(EnergyFn fn);
+
+    /**
+     * Attach the machine's power meter (nullptr detaches). The
+     * PowerRead syscall/service reads through it; without a meter
+     * the service still runs but the reading stays invalid.
+     */
+    void setPowerMeter(const PowerMeter *m) { meter = m; }
+
+    /**
+     * Run one power-meter read in the kernel: snapshots the meter's
+     * last reading and pushes a PowerRead service frame, so the read
+     * is energy-attributed like any other kernel service. Called
+     * from the PowerRead syscall and from window-boundary feedback
+     * policies (the governor's decision work).
+     */
+    void pollPowerMeter();
+
+    /** The reading captured by the most recent pollPowerMeter(). */
+    const PowerReading &lastPowerReading() const
+    {
+        return lastPowerRead;
+    }
 
     /** Begin periodic timer interrupts. */
     void startClock();
@@ -253,6 +276,12 @@ class Kernel : public KernelIface, public IoContext,
 
     EnergyFn energyFn;
     std::array<ServiceStats, numServices> stats{};
+
+    /** Machine power meter; not owned, not serialized. */
+    const PowerMeter *meter = nullptr;
+
+    /** Snapshot taken by the most recent pollPowerMeter(). */
+    PowerReading lastPowerRead;
 
     bool pendingClockInt = false;
     bool clockRunning = false;

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * The kernel-visible power meter.
+ *
+ * The streaming power pass (power/power_calculator.hh) produces one
+ * reading per closed sample window; the System publishes the latest
+ * one through this interface so the simulated kernel can observe the
+ * machine's own power — the capability ROADMAP item 5 calls out as
+ * impossible under the batch post-processing design. The kernel
+ * reaches it through the PowerRead syscall/service, energy-attributed
+ * like any other service, and the feedback policies
+ * (os/power_governor.hh) consume the same readings.
+ */
+
+#ifndef SOFTWATT_OS_POWER_METER_HH
+#define SOFTWATT_OS_POWER_METER_HH
+
+#include <cstdint>
+
+#include "core/checkpoint.hh"
+#include "sim/types.hh"
+
+namespace softwatt
+{
+
+/** One sample window's power, as exposed to the kernel. */
+struct PowerReading
+{
+    /** Index of the window in the sample log. */
+    std::uint64_t windowIndex = 0;
+
+    Tick startTick = 0;
+    Tick endTick = 0;
+
+    /** Average CPU + memory-hierarchy power over the window, W. */
+    double cpuMemPowerW = 0;
+
+    /** Average disk power over the window (paper-equivalent), W. */
+    double diskPowerW = 0;
+
+    /** Whole-system average power over the window, W. */
+    double systemPowerW = 0;
+
+    /** Operating point the window executed at. */
+    double freqMhz = 0;
+    double vdd = 0;
+
+    /** False until the first window closes. */
+    bool valid = false;
+
+    void
+    saveState(ChunkWriter &out) const
+    {
+        out.u64(windowIndex);
+        out.u64(startTick);
+        out.u64(endTick);
+        out.f64(cpuMemPowerW);
+        out.f64(diskPowerW);
+        out.f64(systemPowerW);
+        out.f64(freqMhz);
+        out.f64(vdd);
+        out.b(valid);
+    }
+
+    void
+    loadState(ChunkReader &in)
+    {
+        windowIndex = in.u64();
+        startTick = in.u64();
+        endTick = in.u64();
+        cpuMemPowerW = in.f64();
+        diskPowerW = in.f64();
+        systemPowerW = in.f64();
+        freqMhz = in.f64();
+        vdd = in.f64();
+        valid = in.b();
+    }
+};
+
+/**
+ * Provider of the last closed window's power reading. Implemented by
+ * System, consumed by the kernel's PowerRead service and the
+ * window-boundary feedback policies.
+ */
+class PowerMeter
+{
+  public:
+    virtual ~PowerMeter() = default;
+
+    /** The most recent window's reading (valid=false before any). */
+    virtual const PowerReading &lastReading() const = 0;
+};
+
+} // namespace softwatt
+
+#endif // SOFTWATT_OS_POWER_METER_HH

@@ -26,6 +26,7 @@ serviceName(ServiceKind kind)
       case ServiceKind::Bsd: return "BSD";
       case ServiceKind::ClockInt: return "clock";
       case ServiceKind::ErrorRecovery: return "error_recovery";
+      case ServiceKind::PowerRead: return "power_read";
       case ServiceKind::NumServices: break;
     }
     panic("serviceName: invalid service kind");

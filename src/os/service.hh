@@ -38,6 +38,7 @@ enum class ServiceKind : std::uint8_t
     Bsd,            ///< BSD networking / misc syscall layer.
     ClockInt,       ///< Timer interrupt.
     ErrorRecovery,  ///< Disk-error retry/recovery handler.
+    PowerRead,      ///< Power-meter read (PowerMeter interface).
     NumServices,
 };
 
@@ -55,7 +56,7 @@ constexpr std::array<ServiceKind, numServices> allServices = {
     ServiceKind::Write,     ServiceKind::Open,
     ServiceKind::Xstat,     ServiceKind::DuPoll,
     ServiceKind::Bsd,       ServiceKind::ClockInt,
-    ServiceKind::ErrorRecovery,
+    ServiceKind::ErrorRecovery, ServiceKind::PowerRead,
 };
 
 /**

@@ -245,6 +245,11 @@ makeFixedService(ServiceKind kind, const ServiceTuning &t,
                             seed + 1, t.errorRecoveryLength));
         return seq;
       }
+      case ServiceKind::PowerRead:
+        // Read and unpack the kernel's power-meter record: a short
+        // register-and-load sequence, like xstat but smaller.
+        return bounded(kernelCodeSpec(ExecMode::KernelInst), seed,
+                       t.powerReadLength);
       case ServiceKind::Read:
       case ServiceKind::Write:
         panic("I/O services are built via IoService, not "

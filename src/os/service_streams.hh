@@ -63,6 +63,7 @@ struct ServiceTuning
     std::uint64_t ioFinishLength = 60;
     std::uint64_t errorRecoveryLength = 360;
     std::uint64_t errorRecoverySyncLength = 40;
+    std::uint64_t powerReadLength = 90;
 
     /** Probability an open() needs a metadata block from disk. */
     double openMetadataMissProb = 0.05;

@@ -23,6 +23,7 @@ enum class SyscallId : std::uint16_t
     DuPoll,
     Bsd,
     CacheFlush,
+    PowerRead,
 };
 
 /**

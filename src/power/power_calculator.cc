@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/check.hh"
 #include "sim/logging.hh"
 
 namespace softwatt
@@ -210,44 +211,101 @@ PowerCalculator::energiesForMode(const CounterBank &bank, ExecMode mode,
     return out;
 }
 
+ComponentEnergy
+PowerCalculator::energiesForRecord(const SampleRecord &rec,
+                                   ExecMode mode,
+                                   Cycles mode_cycles) const
+{
+    ComponentEnergy out =
+        energiesForMode(rec.counters, mode, mode_cycles);
+    const Technology &tech = powerModel.technology();
+    double vr = rec.vdd > 0 ? rec.vdd / tech.vdd : 1.0;
+    double fr = rec.freqMhz > 0 ? rec.freqMhz / tech.freqMhz : 1.0;
+    if (vr == 1.0 && fr == 1.0)
+        return out;
+    // First-order DVFS scaling: switching energy goes with Vdd^2;
+    // the clock tree's power also drops linearly with frequency
+    // while the window's wall-clock time (ticks at the nominal tick
+    // rate) is unchanged, so its energy picks up the extra factor.
+    double vsq = vr * vr;
+    for (int c = 0; c < numComponents; ++c)
+        out[c] *= vsq;
+    out[int(Component::Clock)] *= fr;
+    return out;
+}
+
 PowerTrace
 PowerCalculator::process(const SampleLog &log) const
 {
-    PowerTrace trace;
-    trace.total.freqHz = powerModel.technology().freqHz();
+    PowerStream stream(*this);
+    stream.beginRun();
+    for (const SampleRecord &rec : log.all())
+        stream.onWindow(rec);
+    return stream.finish();
+}
 
-    for (const SampleRecord &rec : log.all()) {
-        WindowPower wp;
-        wp.startTick = rec.startTick;
-        wp.endTick = rec.endTick;
+PowerStream::PowerStream(const PowerCalculator &calc) : calc(calc)
+{
+    beginRun();
+}
 
-        double window_seconds =
-            double(rec.length()) / trace.total.freqHz;
+void
+PowerStream::beginRun()
+{
+    acc = PowerTrace{};
+    acc.total.freqHz = calc.model().technology().freqHz();
+    done = false;
+}
 
-        for (ExecMode mode : allExecModes) {
-            int m = int(mode);
-            Cycles mode_cycles =
-                rec.counters.get(mode, CounterId::Cycles);
-            wp.cycles[m] = mode_cycles;
-            trace.total.cycles[m] += mode_cycles;
+const WindowPower &
+PowerStream::onWindow(const SampleRecord &rec)
+{
+    SW_CHECK(!done, "PowerStream::onWindow after finish()");
 
-            ComponentEnergy energy =
-                energiesForMode(rec.counters, mode, mode_cycles);
-            double mode_energy = 0;
-            for (int c = 0; c < numComponents; ++c) {
-                trace.total.energyJ[m][c] += energy[c];
-                mode_energy += energy[c];
-                if (window_seconds > 0)
-                    wp.componentPowerW[c] += energy[c] / window_seconds;
-            }
-            double mode_seconds =
-                double(mode_cycles) / trace.total.freqHz;
-            wp.modePowerW[m] =
-                mode_seconds > 0 ? mode_energy / mode_seconds : 0;
+    WindowPower wp;
+    wp.startTick = rec.startTick;
+    wp.endTick = rec.endTick;
+    wp.freqMhz = rec.freqMhz;
+    wp.vdd = rec.vdd;
+
+    double window_seconds = double(rec.length()) / acc.total.freqHz;
+
+    for (ExecMode mode : allExecModes) {
+        int m = int(mode);
+        Cycles mode_cycles = rec.counters.get(mode, CounterId::Cycles);
+        wp.cycles[m] = mode_cycles;
+        acc.total.cycles[m] += mode_cycles;
+
+        ComponentEnergy energy =
+            calc.energiesForRecord(rec, mode, mode_cycles);
+        double mode_energy = 0;
+        for (int c = 0; c < numComponents; ++c) {
+            acc.total.energyJ[m][c] += energy[c];
+            mode_energy += energy[c];
+            if (window_seconds > 0)
+                wp.componentPowerW[c] += energy[c] / window_seconds;
         }
-        trace.windows.push_back(wp);
+        double mode_seconds = double(mode_cycles) / acc.total.freqHz;
+        wp.modePowerW[m] =
+            mode_seconds > 0 ? mode_energy / mode_seconds : 0;
     }
-    return trace;
+    acc.windows.push_back(wp);
+    return acc.windows.back();
+}
+
+const PowerTrace &
+PowerStream::finish()
+{
+    done = true;
+    return acc;
+}
+
+const WindowPower &
+PowerStream::lastWindow() const
+{
+    SW_CHECK(!acc.windows.empty(),
+             "PowerStream::lastWindow on an empty trace");
+    return acc.windows.back();
 }
 
 double

@@ -1,8 +1,15 @@
 /**
  * @file
- * The post-processing power pass: turns sampled counter logs into
- * per-mode, per-component energy and power, mirroring the paper's
- * log-file post-processing design (Section 2).
+ * The power pass: turns sampled counter logs into per-mode,
+ * per-component energy and power, mirroring the paper's log-file
+ * post-processing design (Section 2).
+ *
+ * The pass is incremental: PowerStream consumes one SampleRecord as
+ * its window closes and accumulates the PowerTrace online, so the
+ * simulated machine can observe its own power while running. The
+ * batch process() entry point is a thin wrapper that streams the
+ * whole log through the same path, making the two bit-identical by
+ * construction.
  */
 
 #ifndef SOFTWATT_POWER_POWER_CALCULATOR_HH
@@ -85,6 +92,19 @@ struct WindowPower
 
     /** Average power of each component over the window, W. */
     ComponentEnergy componentPowerW{};
+
+    /** Operating point the window ran at (0 = nominal). */
+    double freqMhz = 0;
+    double vdd = 0;
+
+    /** Whole-window CPU+memory average power, watts. */
+    double cpuMemPowerW() const
+    {
+        double sum = 0;
+        for (double w : componentPowerW)
+            sum += w;
+        return sum;
+    }
 };
 
 /** Full output of a power pass: totals plus the window series. */
@@ -116,11 +136,23 @@ class PowerCalculator
 
     /**
      * Energy of one mode's counters accumulated over @p mode_cycles
-     * cycles, per component (datapath/caches/clock/memory), joules.
+     * cycles, per component (datapath/caches/clock/memory), joules,
+     * at the nominal operating point.
      */
     ComponentEnergy energiesForMode(const CounterBank &bank,
                                     ExecMode mode,
                                     Cycles mode_cycles) const;
+
+    /**
+     * energiesForMode scaled to the record's operating point: all
+     * switching energy scales with (Vdd/Vnom)^2 and the clock tree
+     * additionally with (f/fnom) — the first-order DVFS model. A
+     * record at the nominal point (or with the fields unset, 0) is
+     * bit-identical to the unscaled path.
+     */
+    ComponentEnergy energiesForRecord(const SampleRecord &rec,
+                                      ExecMode mode,
+                                      Cycles mode_cycles) const;
 
     /**
      * Clock-load activity in [0,1] for one mode's counters: the
@@ -130,7 +162,11 @@ class PowerCalculator
     double clockActivity(const CounterBank &bank, ExecMode mode,
                          Cycles mode_cycles) const;
 
-    /** Run the full pass over a sample log. */
+    /**
+     * Run the full pass over a sample log. Implemented as a thin
+     * wrapper over PowerStream (beginRun/onWindow/finish), so the
+     * batch result is bit-identical to the incremental one.
+     */
     PowerTrace process(const SampleLog &log) const;
 
     /**
@@ -150,6 +186,48 @@ class PowerCalculator
   private:
     const CpuPowerModel &powerModel;
     bool conditionalClocking;
+};
+
+/**
+ * The incremental power pass.
+ *
+ * Feed each SampleRecord through onWindow() as its window closes;
+ * the accumulated PowerTrace is available at any time through
+ * trace(), and the per-window result is returned so callers (the
+ * System's power meter) can act on it immediately. finish() marks
+ * the run complete and returns the final trace.
+ *
+ * The batch PowerCalculator::process() streams the whole log through
+ * this class, so incremental and post-processed results are
+ * bit-identical by construction.
+ */
+class PowerStream
+{
+  public:
+    explicit PowerStream(const PowerCalculator &calc);
+
+    /** Reset accumulation for a new run. */
+    void beginRun();
+
+    /** Consume one closed window; returns its per-window power. */
+    const WindowPower &onWindow(const SampleRecord &rec);
+
+    /** Mark the run complete; returns the accumulated trace. */
+    const PowerTrace &finish();
+
+    /** The trace accumulated so far (valid mid-run). */
+    const PowerTrace &trace() const { return acc; }
+
+    std::size_t windowCount() const { return acc.windows.size(); }
+    bool hasWindows() const { return !acc.windows.empty(); }
+
+    /** The most recently closed window; hasWindows() must hold. */
+    const WindowPower &lastWindow() const;
+
+  private:
+    const PowerCalculator &calc;
+    PowerTrace acc;
+    bool done = false;
 };
 
 /**

@@ -1,5 +1,6 @@
 #include "sample_log.hh"
 
+#include <charconv>
 #include <istream>
 #include <ostream>
 #include <sstream>
@@ -9,6 +10,23 @@
 namespace softwatt
 {
 
+namespace
+{
+
+/**
+ * Shortest round-trip decimal form of a double (std::to_chars), so
+ * the CSV is deterministic and readCsv restores the exact value.
+ */
+std::string
+csvDouble(double value)
+{
+    char buf[40];
+    auto res = std::to_chars(buf, buf + sizeof(buf), value);
+    return std::string(buf, res.ptr);
+}
+
+} // namespace
+
 void
 SampleLog::saveState(ChunkWriter &out) const
 {
@@ -16,6 +34,8 @@ SampleLog::saveState(ChunkWriter &out) const
     for (const SampleRecord &rec : records) {
         out.u64(rec.startTick);
         out.u64(rec.endTick);
+        out.f64(rec.freqMhz);
+        out.f64(rec.vdd);
         rec.counters.saveState(out);
     }
 }
@@ -30,6 +50,8 @@ SampleLog::loadState(ChunkReader &in)
         SampleRecord rec;
         rec.startTick = in.u64();
         rec.endTick = in.u64();
+        rec.freqMhz = in.f64();
+        rec.vdd = in.f64();
         rec.counters.loadState(in);
         records.push_back(std::move(rec));
     }
@@ -56,7 +78,7 @@ SampleLog::totalCycles() const
 void
 SampleLog::writeCsv(std::ostream &out) const
 {
-    out << "window,start,end,mode";
+    out << "window,start,end,freq_mhz,vdd,mode";
     for (int c = 0; c < numCounters; ++c)
         out << ',' << counterName(static_cast<CounterId>(c));
     out << '\n';
@@ -64,6 +86,8 @@ SampleLog::writeCsv(std::ostream &out) const
         const auto &rec = records[w];
         for (ExecMode mode : allExecModes) {
             out << w << ',' << rec.startTick << ',' << rec.endTick << ','
+                << csvDouble(rec.freqMhz) << ','
+                << csvDouble(rec.vdd) << ','
                 << execModeName(mode);
             for (int c = 0; c < numCounters; ++c) {
                 out << ','
@@ -104,6 +128,13 @@ SampleLog::readCsv(std::istream &in, SampleLog &out)
         Tick end = std::stoull(field);
 
         if (!std::getline(row, field, ','))
+            return false;
+        double freq_mhz = std::stod(field);
+        if (!std::getline(row, field, ','))
+            return false;
+        double vdd = std::stod(field);
+
+        if (!std::getline(row, field, ','))
             return false; // mode name; row order is fixed
 
         if (!have_window || window != current_window) {
@@ -112,6 +143,8 @@ SampleLog::readCsv(std::istream &in, SampleLog &out)
             current = SampleRecord{};
             current.startTick = start;
             current.endTick = end;
+            current.freqMhz = freq_mhz;
+            current.vdd = vdd;
             current_window = window;
             have_window = true;
             mode_index = 0;

@@ -33,6 +33,17 @@ struct SampleRecord
     Tick endTick = 0;
     CounterBank counters;
 
+    /**
+     * Operating point the window executed at (DVFS): core frequency
+     * in MHz and supply voltage in volts. 0 means "nominal", so
+     * hand-built records and logs from before the field existed
+     * price identically to the unscaled path. Stored in the log so
+     * the power pass stays a pure function of the log even when a
+     * governor re-points the core mid-run.
+     */
+    double freqMhz = 0;
+    double vdd = 0;
+
     /** Window length in cycles. */
     Cycles length() const { return endTick - startTick; }
 };

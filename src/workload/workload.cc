@@ -296,6 +296,15 @@ Workload::queueMainSyscalls(std::uint64_t chunk_insts)
             makeSyscall(std::uint16_t(SyscallId::Open),
                         encodeIoArg(pick_file(), 0, 0)));
     }
+    if (sys.powerPollPerMInst > 0) {
+        // Guarded so a zero rate draws no RNG: pre-existing
+        // benchmark streams stay bit-identical.
+        for (std::uint64_t i = 0;
+             i < count(sys.powerPollPerMInst); ++i) {
+            pendingSyscalls.push_back(makeSyscall(
+                std::uint16_t(SyscallId::PowerRead), 0));
+        }
+    }
 }
 
 bool

@@ -44,6 +44,14 @@ struct SyscallProfile
     double bsdPerMInst = 0.0;
     double duPollPerMInst = 0.0;
     double openPerMInst = 0.02;
+
+    /**
+     * PowerRead syscalls per million instructions: the workload
+     * polling the kernel's power meter. Off by default; when 0 the
+     * rate draws no RNG, so existing benchmark streams are
+     * bit-identical to before the knob existed.
+     */
+    double powerPollPerMInst = 0.0;
 };
 
 /** Complete description of one synthetic benchmark. */

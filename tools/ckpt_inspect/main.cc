@@ -39,6 +39,80 @@ cpuModelName(std::uint8_t model)
     }
 }
 
+/**
+ * Decode and pretty-print the power-subsystem chunk: the kernel's
+ * last power-meter reading plus the DVFS governor and adaptive
+ * spin-down policy state, mirroring System::buildCheckpointImage.
+ * Decode errors are reported but non-fatal — the chunk's checksum
+ * already verified, so a short payload means a format-version skew,
+ * worth seeing rather than dying over in an inspection tool.
+ */
+void
+printPowerChunk(const softwatt::CheckpointChunk &chunk)
+{
+    try {
+        softwatt::ChunkReader r(chunk.payload, "power");
+        std::uint64_t window = r.u64();
+        std::uint64_t start = r.u64();
+        std::uint64_t end = r.u64();
+        double cpu_mem_w = r.f64();
+        double disk_w = r.f64();
+        double system_w = r.f64();
+        double freq_mhz = r.f64();
+        double vdd = r.f64();
+        bool valid = r.b();
+        std::printf("  power meter:\n");
+        if (valid) {
+            std::printf("    window %" PRIu64 " [%" PRIu64
+                        ", %" PRIu64 ")\n",
+                        window, start, end);
+            std::printf("    cpu+mem %.4f W, disk %.4f W, "
+                        "system %.4f W\n",
+                        cpu_mem_w, disk_w, system_w);
+            std::printf("    operating point: %.1f MHz @ %.2f V%s\n",
+                        freq_mhz, vdd,
+                        freq_mhz == 0 ? " (nominal)" : "");
+        } else {
+            std::printf("    no reading yet (no closed window)\n");
+        }
+        double last_disk_j = r.f64();
+        std::uint64_t duty_acc = r.u64();
+        std::uint64_t throttled = r.u64();
+        std::printf("    disk energy cursor %.6f J, duty acc %" PRIu64
+                    ", throttled cycles %" PRIu64 "\n",
+                    last_disk_j, duty_acc, throttled);
+        if (r.b()) {
+            std::uint64_t level = r.u64();
+            std::uint64_t deepest = r.u64();
+            std::uint64_t down = r.u64();
+            std::uint64_t up = r.u64();
+            std::printf("  dvfs governor: level %" PRIu64
+                        " (deepest %" PRIu64 "), %" PRIu64
+                        " down / %" PRIu64 " up\n",
+                        level, deepest, down, up);
+        } else {
+            std::printf("  dvfs governor: off\n");
+        }
+        if (r.b()) {
+            double threshold_s = r.f64();
+            std::uint64_t spin_ups = r.u64();
+            std::uint64_t quiet = r.u64();
+            std::uint64_t adjustments = r.u64();
+            std::printf("  adaptive spin-down: threshold %.3f s, "
+                        "%" PRIu64 " adjustment(s), %" PRIu64
+                        " spin-up(s) seen, quiet streak %" PRIu64
+                        "\n",
+                        threshold_s, adjustments, spin_ups, quiet);
+        } else {
+            std::printf("  adaptive spin-down: off\n");
+        }
+        r.finish();
+    } catch (const softwatt::CheckpointError &err) {
+        std::printf("  power chunk: decode failed (%s)\n",
+                    err.what());
+    }
+}
+
 int
 inspect(const char *path)
 {
@@ -78,6 +152,10 @@ inspect(const char *path)
                     chunk.name.c_str(), chunk.payload.size(),
                     checksum);
         payload_bytes += chunk.payload.size();
+    }
+    if (const softwatt::CheckpointChunk *power =
+            image.find("power")) {
+        printPowerChunk(*power);
     }
     std::printf("%s: OK (%zu chunks, %" PRIu64
                 " bytes of payload)\n",
