@@ -9,14 +9,23 @@
  * committed instructions per host second), and writes the numbers as
  * a schema-versioned JSON document — the tracked simulation-speed
  * baseline (BENCH_simspeed.json at the repo root).
+ *
+ * --simspeed-baseline=FILE additionally gates on that committed
+ * baseline: if either model's measured MIPS drops more than 10 %
+ * below the baseline's, the binary exits 1 (the CI simulation-speed
+ * regression gate). Both flags compose — one measurement run is
+ * written as the new sample and compared against the baseline.
  */
 
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <memory>
+#include <string>
 #include <utility>
 
 #include "core/experiment.hh"
@@ -181,33 +190,55 @@ BENCHMARK(BM_WorkloadGen);
  * simulation result — the JSON records both the host measurement and
  * the deterministic simulated quantities next to it.
  */
-void
-writeModelSpeed(JsonWriter &json, CpuModel model, const char *name)
+struct ModelSpeed
+{
+    double hostSeconds = 0;
+    std::uint64_t committedInsts = 0;
+    std::uint64_t simCycles = 0;
+    double mips = 0;
+};
+
+ModelSpeed
+measureModelSpeed(CpuModel model)
 {
     SystemConfig config;
     config.cpuModel = model;
     auto start = std::chrono::steady_clock::now();
     BenchmarkRun run = runBenchmark(Benchmark::Jess, config, 0.1);
     auto stop = std::chrono::steady_clock::now();
-    double host_s =
-        std::chrono::duration<double>(stop - start).count();
-    std::uint64_t insts = run.system->cpu().committedInsts();
 
+    ModelSpeed speed;
+    speed.hostSeconds =
+        std::chrono::duration<double>(stop - start).count();
+    speed.committedInsts = run.system->cpu().committedInsts();
+    speed.simCycles = std::uint64_t(run.system->now());
+    speed.mips = speed.hostSeconds > 0
+                     ? speed.committedInsts / speed.hostSeconds / 1e6
+                     : 0.0;
+    return speed;
+}
+
+void
+writeModelSpeed(JsonWriter &json, const ModelSpeed &speed,
+                const char *name)
+{
     json.key(name);
     json.beginObject();
-    json.member("host_seconds", host_s);
-    json.member("committed_insts", insts);
-    json.member("sim_cycles", std::uint64_t(run.system->now()));
-    json.member("mips", host_s > 0 ? insts / host_s / 1e6 : 0.0);
+    json.member("host_seconds", speed.hostSeconds);
+    json.member("committed_insts", speed.committedInsts);
+    json.member("sim_cycles", speed.simCycles);
+    json.member("mips", speed.mips);
     json.member("sim_khz",
-                host_s > 0
-                    ? double(run.system->now()) / host_s / 1e3
+                speed.hostSeconds > 0
+                    ? double(speed.simCycles) / speed.hostSeconds /
+                          1e3
                     : 0.0);
     json.endObject();
 }
 
 int
-runSimspeedJson(const char *path)
+writeSimspeedJson(const char *path, const ModelSpeed &mipsy,
+                  const ModelSpeed &mxs)
 {
     std::ofstream out(path);
     if (!out)
@@ -220,13 +251,74 @@ runSimspeedJson(const char *path)
         json.member("scale", 0.1);
         json.key("models");
         json.beginObject();
-        writeModelSpeed(json, CpuModel::InOrder, "mipsy");
-        writeModelSpeed(json, CpuModel::Superscalar, "mxs");
+        writeModelSpeed(json, mipsy, "mipsy");
+        writeModelSpeed(json, mxs, "mxs");
         json.endObject();
         json.endObject();
     }
     out << '\n';
     return out ? 0 : 1;
+}
+
+/**
+ * Pull "<model>": {... "mips": <value> ...} out of a baseline
+ * document with a plain string scan — the schema is our own v1
+ * writer's, so a JSON parser would be overkill. Returns false when
+ * the model or its mips field is absent.
+ */
+bool
+baselineMips(const std::string &doc, const char *model,
+             double &out_mips)
+{
+    std::size_t at = doc.find("\"" + std::string(model) + "\"");
+    if (at == std::string::npos)
+        return false;
+    std::size_t mips = doc.find("\"mips\":", at);
+    if (mips == std::string::npos)
+        return false;
+    out_mips = std::strtod(doc.c_str() + mips + 7, nullptr);
+    return out_mips > 0;
+}
+
+/** Fractional MIPS drop (>0 means slower) vs the baseline. */
+constexpr double kMaxMipsDrop = 0.10;
+
+int
+gateAgainstBaseline(const char *path, const ModelSpeed &mipsy,
+                    const ModelSpeed &mxs)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal(msg() << "cannot read simspeed baseline " << path);
+    std::string doc((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+
+    int failures = 0;
+    const std::pair<const char *, const ModelSpeed *> models[] = {
+        {"mipsy", &mipsy}, {"mxs", &mxs}};
+    for (const auto &[name, measured] : models) {
+        double base = 0;
+        if (!baselineMips(doc, name, base)) {
+            std::fprintf(stderr,
+                         "simspeed gate: no '%s' mips in %s\n", name,
+                         path);
+            ++failures;
+            continue;
+        }
+        double drop = (base - measured->mips) / base;
+        std::fprintf(stderr,
+                     "simspeed gate: %-5s %.3f MIPS vs baseline "
+                     "%.3f (%+.1f%%)\n",
+                     name, measured->mips, base, -drop * 100);
+        if (drop > kMaxMipsDrop) {
+            std::fprintf(stderr,
+                         "simspeed gate: %s regressed more than "
+                         "%.0f%%\n",
+                         name, kMaxMipsDrop * 100);
+            ++failures;
+        }
+    }
+    return failures > 0 ? 1 : 0;
 }
 
 } // namespace
@@ -235,10 +327,26 @@ int
 main(int argc, char **argv)
 {
     constexpr const char *kJsonFlag = "--simspeed-json=";
+    constexpr const char *kBaselineFlag = "--simspeed-baseline=";
+    const char *json_path = nullptr;
+    const char *baseline_path = nullptr;
     for (int i = 1; i < argc; ++i) {
         if (std::strncmp(argv[i], kJsonFlag,
                          std::strlen(kJsonFlag)) == 0)
-            return runSimspeedJson(argv[i] + std::strlen(kJsonFlag));
+            json_path = argv[i] + std::strlen(kJsonFlag);
+        else if (std::strncmp(argv[i], kBaselineFlag,
+                              std::strlen(kBaselineFlag)) == 0)
+            baseline_path = argv[i] + std::strlen(kBaselineFlag);
+    }
+    if (json_path || baseline_path) {
+        ModelSpeed mipsy = measureModelSpeed(CpuModel::InOrder);
+        ModelSpeed mxs = measureModelSpeed(CpuModel::Superscalar);
+        int status = 0;
+        if (json_path)
+            status = writeSimspeedJson(json_path, mipsy, mxs);
+        if (status == 0 && baseline_path)
+            status = gateAgainstBaseline(baseline_path, mipsy, mxs);
+        return status;
     }
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv))

@@ -30,7 +30,7 @@
 #include "sim/sample_log.hh"
 #include "workload/workload.hh"
 
-#include "checkpoint.hh"
+#include "sim/checkpoint.hh"
 #include "idle_profile.hh"
 #include "invariants.hh"
 

@@ -1,6 +1,6 @@
 #include "branch_predictor.hh"
 
-#include "core/checkpoint.hh"
+#include "sim/checkpoint.hh"
 
 namespace softwatt
 {

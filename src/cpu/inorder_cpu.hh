@@ -39,11 +39,11 @@ class InOrderCpu : public Cpu
 
   private:
     /** Cycles the current instruction still needs before finishing. */
-    std::uint64_t busyCycles = 0;
+    std::uint64_t busyCycles = 0;  // ckpt:derived: zero once drained
 
     /** Instruction being executed (valid while busyCycles > 0). */
-    MicroOp current;
-    bool hasCurrent = false;
+    MicroOp current;               // ckpt:derived: empty once drained
+    bool hasCurrent = false;       // ckpt:derived: false once drained
 
     bool sourceEnded = false;
 

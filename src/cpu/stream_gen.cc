@@ -1,6 +1,6 @@
 #include "stream_gen.hh"
 
-#include "core/checkpoint.hh"
+#include "sim/checkpoint.hh"
 
 #include "sim/logging.hh"
 

@@ -114,6 +114,7 @@ class StreamGen : public InstSource
 
     /** Repeating per-site class pattern with the spec's exact mix. */
     static constexpr int patternLength = 128;
+    // ckpt:derived: rebuilt from streamSpec by buildClassPattern()
     std::uint8_t classPattern[patternLength];
 
     void buildClassPattern();

@@ -67,7 +67,7 @@ class SuperscalarCpu : public Cpu
         bool mispredicted = false;
     };
 
-    std::deque<Entry> rob;
+    std::deque<Entry> rob;        // ckpt:derived: empty once drained
     struct FetchedOp
     {
         MicroOp op;
@@ -75,17 +75,18 @@ class SuperscalarCpu : public Cpu
         bool tlbProbed = false;   ///< TLB already consulted once.
         bool tlbMissed = false;   ///< Probe result (valid if probed).
     };
-    std::deque<FetchedOp> fetchQueue;
+    std::deque<FetchedOp> fetchQueue;  // ckpt:derived: empty once drained
 
     /** Latest in-flight producer of each architectural register. */
+    // ckpt:derived: squashAll() zeroes this before every checkpoint
     std::array<std::uint64_t, numArchRegs> regProducer{};
 
     std::uint64_t nextSeq = 1;
     std::uint64_t now = 0;
 
-    std::uint64_t fetchBusyUntil = 0;       ///< I-cache miss stall.
-    std::uint64_t fetchBlockedOnBranch = 0; ///< Seq of branch, 0 none.
-    std::uint64_t blockedSyscallSeq = 0;    ///< Seq of syscall, 0 none.
+    std::uint64_t fetchBusyUntil = 0;       ///< ckpt:derived: drained.
+    std::uint64_t fetchBlockedOnBranch = 0; ///< ckpt:derived: drained.
+    std::uint64_t blockedSyscallSeq = 0;    ///< ckpt:derived: drained.
     bool sourceEnded = false;
 
     std::uint64_t mispredStalls = 0;

@@ -13,7 +13,7 @@
 #include <functional>
 #include <string>
 
-#include "core/checkpoint.hh"
+#include "sim/checkpoint.hh"
 #include "sim/event_queue.hh"
 #include "sim/random.hh"
 #include "sim/types.hh"
@@ -251,11 +251,11 @@ class Disk : public Checkpointable
     };
 
     EventQueue &queue;
-    double freqHz;
-    DiskConfig cfg;
-    double timeScale;
-    DiskPowerSpec power;
-    DiskTimingSpec timing;
+    double freqHz;            // ckpt:derived: fixed at construction
+    DiskConfig cfg;           // ckpt:derived: fixed at construction
+    double timeScale;         // ckpt:derived: fixed at construction
+    DiskPowerSpec power;      // ckpt:derived: fixed at construction
+    DiskTimingSpec timing;    // ckpt:derived: fixed at construction
     Random rng;
     DiskFaultModel faultModel;
 
@@ -269,8 +269,8 @@ class Disk : public Checkpointable
     DiskState illegalFrom = DiskState::Idle;
     DiskState illegalTo = DiskState::Idle;
 
-    std::deque<Request> pending;
-    bool busy = false;
+    std::deque<Request> pending;  // ckpt:derived: empty when safe
+    bool busy = false;            // ckpt:derived: false when safe
     std::uint64_t lastBlock = 0;
     EventQueue::EventId spindownEvent = 0;
     bool spindownScheduled = false;

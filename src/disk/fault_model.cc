@@ -1,6 +1,6 @@
 #include "fault_model.hh"
 
-#include "core/checkpoint.hh"
+#include "sim/checkpoint.hh"
 
 #include "sim/logging.hh"
 

@@ -111,7 +111,7 @@ class DiskFaultModel
     void loadState(ChunkReader &in);
 
   private:
-    DiskFaultConfig cfg;
+    DiskFaultConfig cfg;  // ckpt:derived: fixed at construction
     Random rng;
     std::uint64_t numTransient = 0;
     std::uint64_t numSeek = 0;

@@ -1,6 +1,6 @@
 #include "cache.hh"
 
-#include "core/checkpoint.hh"
+#include "sim/checkpoint.hh"
 
 #include "sim/logging.hh"
 

@@ -98,9 +98,9 @@ class Cache
     };
 
     std::string cacheName;
-    CacheParams params;
-    std::uint64_t sets;
-    int lineShift;
+    CacheParams params;   // ckpt:derived: fixed at construction
+    std::uint64_t sets;   // ckpt:derived: computed from params
+    int lineShift;        // ckpt:derived: computed from params
     std::vector<Line> lines;  // sets * ways, way-major within a set
     std::uint64_t useCounter = 0;
 

@@ -8,7 +8,7 @@
 #ifndef SOFTWATT_MEM_HIERARCHY_HH
 #define SOFTWATT_MEM_HIERARCHY_HH
 
-#include "core/checkpoint.hh"
+#include "sim/checkpoint.hh"
 #include "sim/counter_sink.hh"
 #include "sim/machine_params.hh"
 #include "sim/types.hh"
@@ -72,7 +72,7 @@ class CacheHierarchy : public Checkpointable
     Cache l1i;
     Cache l1d;
     Cache l2;
-    int memLatency;
+    int memLatency;  // ckpt:derived: fixed at construction
     std::uint64_t numMemAccesses = 0;
 
     /** L2 + memory walk shared by both sides. */

@@ -12,7 +12,7 @@
 #include <cstdint>
 #include <unordered_set>
 
-#include "core/checkpoint.hh"
+#include "sim/checkpoint.hh"
 #include "sim/types.hh"
 
 namespace softwatt
@@ -47,8 +47,8 @@ class PageTable : public Checkpointable
     void loadState(ChunkReader &in) override;
 
   private:
-    int pageSize;
-    int pageShift;
+    int pageSize;   // ckpt:derived: fixed at construction
+    int pageShift;  // ckpt:derived: computed from pageSize
     std::unordered_set<Addr> pages;
 
     Addr vpn(Addr vaddr) const { return vaddr >> pageShift; }

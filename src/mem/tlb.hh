@@ -11,7 +11,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "core/checkpoint.hh"
+#include "sim/checkpoint.hh"
 #include "sim/types.hh"
 
 namespace softwatt
@@ -66,8 +66,8 @@ class Tlb : public Checkpointable
     };
 
     std::vector<Entry> entries;
-    int pageSize;
-    int pageShift;
+    int pageSize;   // ckpt:derived: fixed at construction
+    int pageShift;  // ckpt:derived: computed from pageSize
     std::uint64_t useCounter = 0;
     std::uint64_t numRefs = 0;
     std::uint64_t numMisses = 0;

@@ -1,6 +1,6 @@
 #include "file_system.hh"
 
-#include "core/checkpoint.hh"
+#include "sim/checkpoint.hh"
 
 #include "sim/logging.hh"
 

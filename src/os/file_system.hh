@@ -57,7 +57,7 @@ class FileSystem
     void loadState(ChunkReader &in);
 
   private:
-    int blockSize;
+    int blockSize;  // ckpt:derived: fixed at construction
     std::uint64_t nextBlock = 64;  // superblock area reserved
     std::vector<FileInfo> files;
 };

@@ -15,7 +15,7 @@
 #include <memory>
 #include <vector>
 
-#include "core/checkpoint.hh"
+#include "sim/checkpoint.hh"
 #include "cpu/kernel_iface.hh"
 #include "cpu/stream_gen.hh"
 #include "disk/disk.hh"
@@ -256,8 +256,8 @@ class Kernel : public KernelIface, public IoContext,
     Tlb &tlb;
     CacheHierarchy &hierarchy;
     Disk &disk;
-    MachineParams machine;
-    Params cfg;
+    MachineParams machine;  // ckpt:derived: fixed at construction
+    Params cfg;             // ckpt:derived: fixed at construction
     CounterSink &sink;
 
     FileSystem fileSystem;
@@ -265,20 +265,22 @@ class Kernel : public KernelIface, public IoContext,
     PageTable pages;
     Random rng;
 
+    // ckpt:derived: re-wired by attachUserProgram() after restore
     InstSource *userProgram = nullptr;
     std::uint32_t userAsid = 1;
     bool userDone = false;
 
     StreamGen idleStream;
 
+    // ckpt:derived: checkpointSafe() forbids live service frames
     std::vector<std::unique_ptr<Frame>> stack;
     std::deque<MicroOp> baseReplay;
 
-    EnergyFn energyFn;
+    EnergyFn energyFn;  // ckpt:derived: wired at construction
     std::array<ServiceStats, numServices> stats{};
 
     /** Machine power meter; not owned, not serialized. */
-    const PowerMeter *meter = nullptr;
+    const PowerMeter *meter = nullptr;  // ckpt:derived: re-attached
 
     /** Snapshot taken by the most recent pollPowerMeter(). */
     PowerReading lastPowerRead;

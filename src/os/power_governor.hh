@@ -21,7 +21,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "core/checkpoint.hh"
+#include "sim/checkpoint.hh"
 
 #include "power_meter.hh"
 
@@ -95,8 +95,8 @@ class DvfsGovernor
 
   private:
     std::vector<Point> ladder;
-    double budget;
-    double headroom;
+    double budget;    // ckpt:derived: fixed at construction
+    double headroom;  // ckpt:derived: fixed at construction
 
     int idx = 0;
     int deepest = 0;
@@ -138,11 +138,11 @@ class AdaptiveSpindownPolicy
 
   private:
     double thresholdS;
-    double minS;
-    double maxS;
-    double growFactor;
-    double shrinkFactor;
-    int quietWindows;
+    double minS;          // ckpt:derived: fixed at construction
+    double maxS;          // ckpt:derived: fixed at construction
+    double growFactor;    // ckpt:derived: fixed at construction
+    double shrinkFactor;  // ckpt:derived: fixed at construction
+    int quietWindows;     // ckpt:derived: fixed at construction
 
     std::uint64_t lastSpinUps = 0;
     int quietStreak = 0;

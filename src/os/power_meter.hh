@@ -17,7 +17,7 @@
 
 #include <cstdint>
 
-#include "core/checkpoint.hh"
+#include "sim/checkpoint.hh"
 #include "sim/types.hh"
 
 namespace softwatt

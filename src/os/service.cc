@@ -2,7 +2,7 @@
 
 #include <cmath>
 
-#include "core/checkpoint.hh"
+#include "sim/checkpoint.hh"
 
 #include "sim/logging.hh"
 

@@ -1,4 +1,4 @@
-#include "checkpoint.hh"
+#include "sim/checkpoint.hh"
 
 #include <cstdio>
 #include <cstring>

@@ -30,8 +30,8 @@
  * of the same file can fix an incompatible configuration.
  */
 
-#ifndef SOFTWATT_CORE_CHECKPOINT_HH
-#define SOFTWATT_CORE_CHECKPOINT_HH
+#ifndef SOFTWATT_SIM_CHECKPOINT_HH
+#define SOFTWATT_SIM_CHECKPOINT_HH
 
 #include <cstdint>
 #include <stdexcept>
@@ -237,4 +237,4 @@ CheckpointImage readCheckpoint(const std::string &path);
 
 } // namespace softwatt
 
-#endif // SOFTWATT_CORE_CHECKPOINT_HH
+#endif // SOFTWATT_SIM_CHECKPOINT_HH

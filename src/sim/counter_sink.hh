@@ -14,7 +14,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "core/checkpoint.hh"
+#include "sim/checkpoint.hh"
 
 #include "check.hh"
 #include "counters.hh"

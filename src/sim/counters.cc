@@ -1,6 +1,6 @@
 #include "counters.hh"
 
-#include "core/checkpoint.hh"
+#include "sim/checkpoint.hh"
 
 #include "logging.hh"
 

@@ -1,6 +1,6 @@
 #include "event_queue.hh"
 
-#include "core/checkpoint.hh"
+#include "sim/checkpoint.hh"
 
 #include "check.hh"
 #include "logging.hh"

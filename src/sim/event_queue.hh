@@ -118,6 +118,7 @@ class EventQueue
     EventId nextId = 1;
     std::uint64_t liveCount = 0;
     std::uint64_t executedCount = 0;
+    // ckpt:derived: drained with the heap at quiescent points
     std::unordered_set<EventId> cancelled;
     std::priority_queue<Entry, std::vector<Entry>, Later> heap;
 

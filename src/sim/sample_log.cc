@@ -5,7 +5,7 @@
 #include <ostream>
 #include <sstream>
 
-#include "core/checkpoint.hh"
+#include "sim/checkpoint.hh"
 
 namespace softwatt
 {

@@ -24,7 +24,7 @@
 #include <string>
 #include <vector>
 
-#include "core/checkpoint.hh"
+#include "sim/checkpoint.hh"
 #include "cpu/inst.hh"
 #include "cpu/stream_gen.hh"
 #include "os/file_system.hh"

@@ -20,7 +20,7 @@
 
 #include <gtest/gtest.h>
 
-#include "core/checkpoint.hh"
+#include "sim/checkpoint.hh"
 #include "core/runner.hh"
 #include "core/system.hh"
 #include "sim/logging.hh"

@@ -16,7 +16,7 @@
 
 #include <gtest/gtest.h>
 
-#include "core/checkpoint.hh"
+#include "sim/checkpoint.hh"
 #include "core/system.hh"
 #include "power/power_calculator.hh"
 #include "sim/logging.hh"

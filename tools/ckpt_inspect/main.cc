@@ -21,7 +21,7 @@
 #include <cstdio>
 #include <cstring>
 
-#include "core/checkpoint.hh"
+#include "sim/checkpoint.hh"
 
 namespace
 {

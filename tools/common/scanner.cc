@@ -1,0 +1,262 @@
+#include "scanner.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+namespace softwatt::tools
+{
+
+bool
+identChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+findingLess(const Finding &a, const Finding &b)
+{
+    if (a.path != b.path)
+        return a.path < b.path;
+    if (a.line != b.line)
+        return a.line < b.line;
+    return a.rule < b.rule;
+}
+
+int
+lineOfOffset(const std::string &text, std::size_t pos)
+{
+    pos = std::min(pos, text.size());
+    return 1 + int(std::count(text.begin(),
+                              text.begin() + std::ptrdiff_t(pos),
+                              '\n'));
+}
+
+bool
+Suppressions::parse(const std::string &text, std::string &error)
+{
+    std::istringstream in(text);
+    std::string line;
+    int lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        std::size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line.erase(hash);
+        std::istringstream fields(line);
+        std::string path, rule, extra;
+        if (!(fields >> path))
+            continue;  // blank or comment-only line
+        if (!(fields >> rule) || fields >> extra) {
+            error = "suppressions line " + std::to_string(lineno) +
+                    ": expected '<path> <rule>'";
+            return false;
+        }
+        entries.push_back({std::move(path), std::move(rule), false});
+    }
+    return true;
+}
+
+std::size_t
+Suppressions::apply(std::vector<Finding> &findings) const
+{
+    std::size_t before = findings.size();
+    auto kept = std::remove_if(
+        findings.begin(), findings.end(), [this](const Finding &f) {
+            for (const Entry &entry : entries) {
+                if (entry.path == f.path && entry.rule == f.rule) {
+                    entry.used = true;
+                    return true;
+                }
+            }
+            return false;
+        });
+    findings.erase(kept, findings.end());
+    return before - findings.size();
+}
+
+bool
+Suppressions::suppressed(const std::string &path,
+                         const std::string &rule) const
+{
+    for (const Entry &entry : entries) {
+        if (entry.path == path && entry.rule == rule)
+            return true;
+    }
+    return false;
+}
+
+std::vector<std::string>
+Suppressions::unusedEntries() const
+{
+    std::vector<std::string> unused;
+    for (const Entry &entry : entries) {
+        if (!entry.used)
+            unused.push_back(entry.path + " " + entry.rule);
+    }
+    return unused;
+}
+
+std::string
+maskCommentsAndStrings(const std::string &source)
+{
+    std::string out = source;
+    std::size_t i = 0;
+    std::size_t n = source.size();
+
+    auto blank = [&out](std::size_t from, std::size_t to) {
+        for (std::size_t k = from; k < to; ++k) {
+            if (out[k] != '\n')
+                out[k] = ' ';
+        }
+    };
+
+    while (i < n) {
+        char c = source[i];
+        if (c == '/' && i + 1 < n && source[i + 1] == '/') {
+            std::size_t end = source.find('\n', i);
+            if (end == std::string::npos)
+                end = n;
+            blank(i, end);
+            i = end;
+        } else if (c == '/' && i + 1 < n && source[i + 1] == '*') {
+            std::size_t end = source.find("*/", i + 2);
+            end = end == std::string::npos ? n : end + 2;
+            blank(i, end);
+            i = end;
+        } else if (c == 'R' && i + 1 < n && source[i + 1] == '"' &&
+                   (i == 0 || !identChar(source[i - 1]))) {
+            // Raw string: R"delim( ... )delim"
+            std::size_t open = source.find('(', i + 2);
+            if (open == std::string::npos) {
+                i = n;
+                break;
+            }
+            std::string delim = source.substr(i + 2, open - (i + 2));
+            std::string closer = ")" + delim + "\"";
+            std::size_t end = source.find(closer, open + 1);
+            end = end == std::string::npos ? n : end + closer.size();
+            blank(i, end);
+            i = end;
+        } else if (c == '"' || c == '\'') {
+            std::size_t k = i + 1;
+            while (k < n && source[k] != c) {
+                if (source[k] == '\\' && k + 1 < n)
+                    ++k;
+                ++k;
+            }
+            std::size_t end = k < n ? k + 1 : n;
+            blank(i, end);
+            i = end;
+        } else {
+            ++i;
+        }
+    }
+    return out;
+}
+
+bool
+scannableFile(const std::filesystem::path &p)
+{
+    const std::string ext = p.extension().string();
+    return ext == ".cc" || ext == ".hh" || ext == ".cpp" ||
+           ext == ".hpp" || ext == ".h";
+}
+
+bool
+collectFiles(const std::vector<std::filesystem::path> &roots,
+             std::vector<ScanFile> &out, std::string &error)
+{
+    namespace fs = std::filesystem;
+    for (const fs::path &root : roots) {
+        std::error_code ec;
+        if (!fs::is_directory(root, ec)) {
+            error = "not a directory: " + root.string();
+            return false;
+        }
+        for (fs::recursive_directory_iterator it(root, ec), end;
+             it != end; it.increment(ec)) {
+            if (ec) {
+                error = "error walking " + root.string();
+                return false;
+            }
+            if (!it->is_regular_file() || !scannableFile(it->path()))
+                continue;
+            fs::path rel = fs::relative(it->path(), root);
+            std::string repo_rel =
+                (root.filename() / rel).generic_string();
+            out.push_back({std::move(repo_rel), it->path()});
+        }
+    }
+    std::sort(out.begin(), out.end(),
+              [](const ScanFile &a, const ScanFile &b) {
+                  return a.repoRel < b.repoRel;
+              });
+    return true;
+}
+
+bool
+readFile(const std::filesystem::path &p, std::string &out)
+{
+    std::ifstream in(p, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    out = buf.str();
+    return true;
+}
+
+std::string
+jsonEscape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              unsigned(c) & 0xff);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+void
+writeFindingsJson(std::ostream &out, const std::string &tool,
+                  const std::vector<Finding> &findings)
+{
+    for (const Finding &f : findings) {
+        out << "{\"tool\":\"" << jsonEscape(tool) << "\",\"path\":\""
+            << jsonEscape(f.path) << "\",\"line\":" << f.line
+            << ",\"rule\":\"" << jsonEscape(f.rule)
+            << "\",\"message\":\"" << jsonEscape(f.message)
+            << "\"}\n";
+    }
+}
+
+} // namespace softwatt::tools

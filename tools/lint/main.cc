@@ -3,7 +3,7 @@
  * softwatt-lint entry point: scan source trees for determinism and
  * contract violations.
  *
- *   softwatt-lint [--suppressions FILE] ROOT...
+ *   softwatt-lint [--suppressions FILE] [--json=FILE] ROOT...
  *
  * Every .cc/.hh/.cpp/.hpp/.h file under each ROOT is linted; issues
  * are reported as "path:line: [rule] message" and the exit status is
@@ -11,50 +11,40 @@
  * reported relative to the parent of ROOT, so running from the repo
  * root over src/ bench/ examples/ yields repo-relative paths — the
  * form the suppression file and the path-scoped rules match against.
+ *
+ * --json=FILE additionally writes the surviving issues in the shared
+ * one-finding-per-line JSON schema (common/scanner.hh), the same
+ * format softwatt-analyze emits, so CI annotates both tools
+ * uniformly. Suppression entries that silenced nothing are reported
+ * as warnings (the list is meant to stay short and current) without
+ * affecting the exit status.
  */
 
-#include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
-#include <sstream>
 #include <string>
 #include <vector>
 
+#include "common/scanner.hh"
 #include "lint/softwatt_lint.hh"
 
 namespace fs = std::filesystem;
 using softwatt::lint::Issue;
 using softwatt::lint::Suppressions;
+namespace tools = softwatt::tools;
 
 namespace
 {
-
-bool
-lintableFile(const fs::path &p)
-{
-    const std::string ext = p.extension().string();
-    return ext == ".cc" || ext == ".hh" || ext == ".cpp" ||
-           ext == ".hpp" || ext == ".h";
-}
-
-bool
-readFile(const fs::path &p, std::string &out)
-{
-    std::ifstream in(p, std::ios::binary);
-    if (!in)
-        return false;
-    std::ostringstream buf;
-    buf << in.rdbuf();
-    out = buf.str();
-    return true;
-}
 
 int
 usage(const char *argv0)
 {
     std::fprintf(stderr,
-                 "usage: %s [--suppressions FILE] ROOT...\n", argv0);
+                 "usage: %s [--suppressions FILE] [--json=FILE] "
+                 "ROOT...\n",
+                 argv0);
     return 2;
 }
 
@@ -65,6 +55,7 @@ main(int argc, char **argv)
 {
     std::vector<fs::path> roots;
     Suppressions suppressions;
+    std::string json_path;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -72,7 +63,7 @@ main(int argc, char **argv)
             if (++i >= argc)
                 return usage(argv[0]);
             std::string text;
-            if (!readFile(argv[i], text)) {
+            if (!tools::readFile(argv[i], text)) {
                 std::fprintf(stderr, "%s: cannot read %s\n", argv[0],
                              argv[i]);
                 return 2;
@@ -83,6 +74,8 @@ main(int argc, char **argv)
                              argv[i], error.c_str());
                 return 2;
             }
+        } else if (arg.rfind("--json=", 0) == 0) {
+            json_path = arg.substr(std::strlen("--json="));
         } else if (arg == "--help" || arg == "-h") {
             usage(argv[0]);
             return 0;
@@ -93,55 +86,53 @@ main(int argc, char **argv)
     if (roots.empty())
         return usage(argv[0]);
 
-    // Collect and sort paths so output order never depends on
-    // directory-iteration order.
-    std::vector<std::pair<std::string, fs::path>> files;
-    for (const fs::path &root : roots) {
-        std::error_code ec;
-        if (!fs::is_directory(root, ec)) {
-            std::fprintf(stderr, "%s: not a directory: %s\n",
-                         argv[0], root.string().c_str());
-            return 2;
-        }
-        for (fs::recursive_directory_iterator it(root, ec), end;
-             it != end; it.increment(ec)) {
-            if (ec) {
-                std::fprintf(stderr, "%s: error walking %s\n",
-                             argv[0], root.string().c_str());
-                return 2;
-            }
-            if (!it->is_regular_file() || !lintableFile(it->path()))
-                continue;
-            fs::path rel = fs::relative(it->path(), root);
-            std::string repo_rel =
-                (root.filename() / rel).generic_string();
-            files.emplace_back(std::move(repo_rel), it->path());
-        }
+    std::vector<tools::ScanFile> files;
+    std::string walk_error;
+    if (!tools::collectFiles(roots, files, walk_error)) {
+        std::fprintf(stderr, "%s: %s\n", argv[0],
+                     walk_error.c_str());
+        return 2;
     }
-    std::sort(files.begin(), files.end());
 
-    int issue_count = 0;
-    for (const auto &[repo_rel, full] : files) {
+    std::vector<Issue> all_issues;
+    for (const tools::ScanFile &file : files) {
         std::string source;
-        if (!readFile(full, source)) {
+        if (!tools::readFile(file.full, source)) {
             std::fprintf(stderr, "%s: cannot read %s\n", argv[0],
-                         full.string().c_str());
+                         file.full.string().c_str());
             return 2;
         }
-        for (const Issue &issue :
-             softwatt::lint::lintSource(repo_rel, source,
-                                        suppressions)) {
+        for (Issue &issue : softwatt::lint::lintSource(
+                 file.repoRel, source, suppressions)) {
             std::printf("%s:%d: [%s] %s\n", issue.path.c_str(),
                         issue.line, issue.rule.c_str(),
                         issue.message.c_str());
-            ++issue_count;
+            all_issues.push_back(std::move(issue));
         }
     }
 
-    if (issue_count > 0) {
-        std::fprintf(stderr, "softwatt-lint: %d issue(s) in %zu "
+    if (!json_path.empty()) {
+        std::ofstream out(json_path);
+        if (!out) {
+            std::fprintf(stderr, "%s: cannot write %s\n", argv[0],
+                         json_path.c_str());
+            return 2;
+        }
+        tools::writeFindingsJson(out, "softwatt-lint", all_issues);
+    }
+
+    for (const std::string &entry : suppressions.unusedEntries()) {
+        std::fprintf(stderr,
+                     "softwatt-lint: warning: unused suppression "
+                     "entry '%s' (no issue left to silence; remove "
+                     "it from the suppressions file)\n",
+                     entry.c_str());
+    }
+
+    if (!all_issues.empty()) {
+        std::fprintf(stderr, "softwatt-lint: %zu issue(s) in %zu "
                              "file(s) scanned\n",
-                     issue_count, files.size());
+                     all_issues.size(), files.size());
         return 1;
     }
     return 0;

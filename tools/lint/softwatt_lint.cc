@@ -1,20 +1,14 @@
 #include "softwatt_lint.hh"
 
 #include <algorithm>
-#include <cctype>
-#include <sstream>
 
 namespace softwatt::lint
 {
 
+using tools::identChar;
+
 namespace
 {
-
-bool
-identChar(char c)
-{
-    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
-}
 
 /** Does @p path (repo-relative, '/'-separated) live under @p dir? */
 bool
@@ -157,100 +151,6 @@ matchesAt(const std::string &masked, std::size_t pos,
 
 } // namespace
 
-bool
-Suppressions::parse(const std::string &text, std::string &error)
-{
-    std::istringstream in(text);
-    std::string line;
-    int lineno = 0;
-    while (std::getline(in, line)) {
-        ++lineno;
-        std::size_t hash = line.find('#');
-        if (hash != std::string::npos)
-            line.erase(hash);
-        std::istringstream fields(line);
-        std::string path, rule, extra;
-        if (!(fields >> path))
-            continue;  // blank or comment-only line
-        if (!(fields >> rule) || fields >> extra) {
-            error = "suppressions line " + std::to_string(lineno) +
-                    ": expected '<path> <rule>'";
-            return false;
-        }
-        entries.emplace_back(std::move(path), std::move(rule));
-    }
-    return true;
-}
-
-bool
-Suppressions::suppressed(const std::string &path,
-                         const std::string &rule) const
-{
-    for (const auto &[p, r] : entries) {
-        if (p == path && r == rule)
-            return true;
-    }
-    return false;
-}
-
-std::string
-maskCommentsAndStrings(const std::string &source)
-{
-    std::string out = source;
-    std::size_t i = 0;
-    std::size_t n = source.size();
-
-    auto blank = [&out](std::size_t from, std::size_t to) {
-        for (std::size_t k = from; k < to; ++k) {
-            if (out[k] != '\n')
-                out[k] = ' ';
-        }
-    };
-
-    while (i < n) {
-        char c = source[i];
-        if (c == '/' && i + 1 < n && source[i + 1] == '/') {
-            std::size_t end = source.find('\n', i);
-            if (end == std::string::npos)
-                end = n;
-            blank(i, end);
-            i = end;
-        } else if (c == '/' && i + 1 < n && source[i + 1] == '*') {
-            std::size_t end = source.find("*/", i + 2);
-            end = end == std::string::npos ? n : end + 2;
-            blank(i, end);
-            i = end;
-        } else if (c == 'R' && i + 1 < n && source[i + 1] == '"' &&
-                   (i == 0 || !identChar(source[i - 1]))) {
-            // Raw string: R"delim( ... )delim"
-            std::size_t open = source.find('(', i + 2);
-            if (open == std::string::npos) {
-                i = n;
-                break;
-            }
-            std::string delim = source.substr(i + 2, open - (i + 2));
-            std::string closer = ")" + delim + "\"";
-            std::size_t end = source.find(closer, open + 1);
-            end = end == std::string::npos ? n : end + closer.size();
-            blank(i, end);
-            i = end;
-        } else if (c == '"' || c == '\'') {
-            std::size_t k = i + 1;
-            while (k < n && source[k] != c) {
-                if (source[k] == '\\' && k + 1 < n)
-                    ++k;
-                ++k;
-            }
-            std::size_t end = k < n ? k + 1 : n;
-            blank(i, end);
-            i = end;
-        } else {
-            ++i;
-        }
-    }
-    return out;
-}
-
 std::vector<Issue>
 lintSource(const std::string &path, const std::string &source,
            const Suppressions &suppressions)
@@ -261,8 +161,6 @@ lintSource(const std::string &path, const std::string &source,
     for (const Rule &rule : rules()) {
         if (!ruleApplies(rule, path))
             continue;
-        if (suppressions.suppressed(path, rule.name))
-            continue;
         for (const Needle &needle : rule.needles) {
             std::size_t pos = 0;
             while ((pos = masked.find(needle.text, pos)) !=
@@ -270,11 +168,7 @@ lintSource(const std::string &path, const std::string &source,
                 if (matchesAt(masked, pos, needle)) {
                     Issue issue;
                     issue.path = path;
-                    issue.line =
-                        1 + int(std::count(masked.begin(),
-                                           masked.begin() +
-                                               std::ptrdiff_t(pos),
-                                           '\n'));
+                    issue.line = tools::lineOfOffset(masked, pos);
                     issue.rule = rule.name;
                     issue.message =
                         "'" + needle.text + "': " + rule.message;
@@ -284,12 +178,11 @@ lintSource(const std::string &path, const std::string &source,
             }
         }
     }
-    std::sort(issues.begin(), issues.end(),
-              [](const Issue &a, const Issue &b) {
-                  if (a.line != b.line)
-                      return a.line < b.line;
-                  return a.rule < b.rule;
-              });
+    // Suppression runs after matching (not instead of it) so entries
+    // that no longer silence a live finding are identifiable as
+    // unused.
+    suppressions.apply(issues);
+    std::sort(issues.begin(), issues.end(), tools::findingLess);
     return issues;
 }
 

@@ -8,63 +8,36 @@
  * nondeterminism (wall clocks, global RNGs), must not hard-exit past
  * the error-handler path, must not emit reports from unordered
  * containers, and must use the SW_ASSERT/SW_CHECK contract macros
- * instead of raw assert(). It is deliberately token-based rather
- * than AST-based: the banned constructs are identifiable after
- * comments and string literals are masked out, which keeps the tool
- * dependency-free and fast enough to run on every build.
+ * instead of raw assert(). The scanning substrate (masking, file
+ * walking, suppressions, JSON emission) lives in tools/common and is
+ * shared with softwatt-analyze.
  */
 
 #ifndef SOFTWATT_TOOLS_LINT_SOFTWATT_LINT_HH
 #define SOFTWATT_TOOLS_LINT_SOFTWATT_LINT_HH
 
 #include <string>
-#include <utility>
 #include <vector>
+
+#include "common/scanner.hh"
 
 namespace softwatt::lint
 {
 
 /** One rule violation at a source location. */
-struct Issue
-{
-    std::string path;   ///< Repo-relative path of the file.
-    int line = 0;       ///< 1-based line number.
-    std::string rule;   ///< Stable rule name (for suppressions).
-    std::string message;
-};
+using Issue = tools::Finding;
 
-/**
- * Checked-in suppression list: one "path rule" pair per line,
- * '#' starts a comment. A suppressed (path, rule) pair silences
- * every match of that rule in that file.
- */
-class Suppressions
-{
-  public:
-    /** Parse suppression-file text. Returns false on a bad line. */
-    bool parse(const std::string &text, std::string &error);
+/** Checked-in "path rule" suppression list (tools/common). */
+using Suppressions = tools::Suppressions;
 
-    bool suppressed(const std::string &path,
-                    const std::string &rule) const;
-
-    std::size_t size() const { return entries.size(); }
-
-  private:
-    std::vector<std::pair<std::string, std::string>> entries;
-};
-
-/**
- * Replace the contents of comments and string/character literals
- * with spaces, preserving newlines so line numbers survive. Handles
- * //, block comments, "..." and '...' with escapes, and R"(...)"
- * raw strings.
- */
-std::string maskCommentsAndStrings(const std::string &source);
+using tools::maskCommentsAndStrings;
 
 /**
  * Lint one file. @p path is the repo-relative path (rule scoping and
  * suppressions match against it); @p source is the file contents.
- * Returned issues are in line order.
+ * Returned issues are in line order. Suppressed issues are dropped
+ * and the matching suppression entries marked used, so callers can
+ * warn about entries that no longer silence anything.
  */
 std::vector<Issue> lintSource(const std::string &path,
                               const std::string &source,
