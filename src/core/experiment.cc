@@ -38,7 +38,11 @@ runBenchmark(Benchmark bench, const SystemConfig &config, double scale,
     }
     if (!options.restorePath.empty())
         run.system->restoreCheckpoint(options.restorePath);
+    run.warmStarted = run.system->restored();
+    run.warmStartTick = std::uint64_t(run.system->now());
     run.result = run.system->run();
+    run.ticksExecuted =
+        std::uint64_t(run.system->now()) - run.warmStartTick;
     if (!run.result.ok())
         warn(msg() << run.name << ": run ended early ("
                    << runOutcomeName(run.result.outcome) << "): "
@@ -47,6 +51,18 @@ runBenchmark(Benchmark bench, const SystemConfig &config, double scale,
     run.breakdown = run.system->breakdown(false);
     run.conventional = run.system->breakdown(true);
     return run;
+}
+
+std::uint64_t
+machineCheckpointFingerprint(Benchmark bench,
+                             const SystemConfig &config, double scale)
+{
+    System system(config);
+    WorkloadSpec spec = benchmarkSpec(bench);
+    if (scale != 1.0)
+        spec = scaleWorkload(spec, scale);
+    system.attachWorkload(std::make_unique<Workload>(spec));
+    return system.checkpointFingerprint();
 }
 
 PowerBreakdown

@@ -7,6 +7,7 @@
 #ifndef SOFTWATT_CORE_EXPERIMENT_HH
 #define SOFTWATT_CORE_EXPERIMENT_HH
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -56,6 +57,22 @@ struct BenchmarkRun
 
     /** Same run re-priced as the conventional (unmanaged) disk. */
     PowerBreakdown conventional;
+
+    /**
+     * True when the run resumed from a machine checkpoint instead of
+     * simulating from tick zero. Deliberately NOT part of the run's
+     * JSON document: checkpointing at a fixed cadence is a
+     * deterministic perturbation, so a warm-started run's document
+     * is byte-identical to a cold run at the same cadence, and these
+     * fields exist only to prove the warm start skipped work.
+     */
+    bool warmStarted = false;
+
+    /** Simulated tick the run (re)started from; 0 for cold runs. */
+    std::uint64_t warmStartTick = 0;
+
+    /** Ticks actually simulated in this process (now - start). */
+    std::uint64_t ticksExecuted = 0;
 
     /** True when live simulation state is attached. */
     bool hasData() const { return system != nullptr; }
@@ -109,6 +126,19 @@ BenchmarkRun runBenchmark(Benchmark bench, const SystemConfig &config,
 /** runBenchmark with runner hooks (cancellation, diagnostics). */
 BenchmarkRun runBenchmark(Benchmark bench, const SystemConfig &config,
                           double scale, const RunOptions &options);
+
+/**
+ * The machine+workload checkpoint fingerprint a run of (bench,
+ * config, scale) would carry, computed without simulating: builds
+ * the System and attaches the workload exactly like runBenchmark,
+ * then reads System::checkpointFingerprint(). Two specs that agree
+ * on this value can exchange machine checkpoints (the fingerprint
+ * excludes run management like deadlines, which restore ignores) —
+ * this is the key the serve daemon's warm checkpoint pool indexes.
+ */
+std::uint64_t machineCheckpointFingerprint(Benchmark bench,
+                                           const SystemConfig &config,
+                                           double scale);
 
 /** Average of breakdowns (used for the suite-wide Figs. 5-7). */
 PowerBreakdown averageBreakdowns(

@@ -105,105 +105,6 @@ operator<<(Fingerprint &fp, const CacheParams &cache)
               << cache.ways << cache.hitLatency;
 }
 
-/** JSON string-literal unescape for our own writer's escapes. */
-bool
-unescapeJson(const std::string &text, std::string &out)
-{
-    out.clear();
-    out.reserve(text.size());
-    for (std::size_t i = 0; i < text.size(); ++i) {
-        char c = text[i];
-        if (c != '\\') {
-            out.push_back(c);
-            continue;
-        }
-        if (++i >= text.size())
-            return false;
-        switch (text[i]) {
-          case '"': out.push_back('"'); break;
-          case '\\': out.push_back('\\'); break;
-          case '/': out.push_back('/'); break;
-          case 'n': out.push_back('\n'); break;
-          case 'r': out.push_back('\r'); break;
-          case 't': out.push_back('\t'); break;
-          case 'u': {
-            if (i + 4 >= text.size())
-                return false;
-            unsigned value = 0;
-            for (int k = 0; k < 4; ++k) {
-                char h = text[++i];
-                value <<= 4;
-                if (h >= '0' && h <= '9')
-                    value |= unsigned(h - '0');
-                else if (h >= 'a' && h <= 'f')
-                    value |= unsigned(h - 'a' + 10);
-                else if (h >= 'A' && h <= 'F')
-                    value |= unsigned(h - 'A' + 10);
-                else
-                    return false;
-            }
-            if (value > 0x7f)
-                return false;  // our writer only emits \u00xx
-            out.push_back(char(value));
-            break;
-          }
-          default:
-            return false;
-        }
-    }
-    return true;
-}
-
-/**
- * Find `"key":` at the top level of one compact journal line and
- * extract its JSON string value (unescaped). Escaped quotes inside
- * string values can never produce the `"key":` byte sequence, so a
- * plain substring search is exact for this self-generated format.
- */
-bool
-extractString(const std::string &line, const std::string &key,
-              std::string &out)
-{
-    std::string needle = "\"" + key + "\":";
-    std::size_t pos = line.find(needle);
-    if (pos == std::string::npos)
-        return false;
-    pos += needle.size();
-    if (pos >= line.size() || line[pos] != '"')
-        return false;
-    std::size_t cursor = pos + 1;
-    while (cursor < line.size() && line[cursor] != '"') {
-        if (line[cursor] == '\\')
-            ++cursor;
-        ++cursor;
-    }
-    if (cursor >= line.size())
-        return false;  // unterminated: a torn line
-    return unescapeJson(
-        line.substr(pos + 1, cursor - pos - 1), out);
-}
-
-bool
-extractInt(const std::string &line, const std::string &key,
-           int &out)
-{
-    std::string needle = "\"" + key + "\":";
-    std::size_t pos = line.find(needle);
-    if (pos == std::string::npos)
-        return false;
-    pos += needle.size();
-    std::size_t end = pos;
-    while (end < line.size() &&
-           (line[end] == '-' ||
-            (line[end] >= '0' && line[end] <= '9'))) {
-        ++end;
-    }
-    auto [ptr, ec] = std::from_chars(line.data() + pos,
-                                     line.data() + end, out);
-    return ec == std::errc() && ptr == line.data() + end &&
-           end > pos;
-}
-
 constexpr const char *journalSchema = "softwatt-journal-v1";
 
 } // namespace
@@ -322,16 +223,19 @@ RunJournal::load(const std::string &path)
         JournalEntry entry;
         std::string schema;
         bool ok = line.front() == '{' && line.back() == '}' &&
-                  extractString(line, "schema", schema) &&
+                  jsonExtractString(line, "schema", schema) &&
                   schema == journalSchema &&
-                  extractString(line, "experiment",
-                                entry.experiment) &&
-                  extractString(line, "bench", entry.bench) &&
-                  extractString(line, "variant", entry.variant) &&
-                  extractString(line, "config", entry.config) &&
-                  extractString(line, "outcome", entry.outcome) &&
-                  extractInt(line, "attempts", entry.attempts) &&
-                  extractString(line, "run", entry.runJson);
+                  jsonExtractString(line, "experiment",
+                                    entry.experiment) &&
+                  jsonExtractString(line, "bench", entry.bench) &&
+                  jsonExtractString(line, "variant",
+                                    entry.variant) &&
+                  jsonExtractString(line, "config", entry.config) &&
+                  jsonExtractString(line, "outcome",
+                                    entry.outcome) &&
+                  jsonExtractInt(line, "attempts",
+                                 entry.attempts) &&
+                  jsonExtractString(line, "run", entry.runJson);
         if (!ok) {
             warn(msg() << "journal '" << path << "' line " << lineno
                        << " is torn or unparseable; ignoring it "
@@ -341,6 +245,55 @@ RunJournal::load(const std::string &path)
         entries.push_back(std::move(entry));
     }
     return entries;
+}
+
+std::vector<JournalEntry>
+RunJournal::loadLatest(const std::string &path)
+{
+    // Dedup by identity key, last occurrence winning: a journal that
+    // accumulated entries across daemon generations (append mode
+    // never truncates) may record the same job several times, and
+    // only the newest one reflects the final retry/diagnose state.
+    // Key order is first-seen so replay order stays deterministic.
+    std::vector<JournalEntry> entries = load(path);
+    std::vector<JournalEntry> latest;
+    std::vector<std::string> keys;
+    for (JournalEntry &entry : entries) {
+        std::string key = entry.experiment + '\x1f' + entry.bench +
+                          '\x1f' + entry.variant + '\x1f' +
+                          entry.config;
+        std::size_t slot = keys.size();
+        for (std::size_t i = 0; i < keys.size(); ++i) {
+            if (keys[i] == key) {
+                slot = i;
+                break;
+            }
+        }
+        if (slot == keys.size()) {
+            keys.push_back(std::move(key));
+            latest.push_back(std::move(entry));
+        } else {
+            latest[slot] = std::move(entry);
+        }
+    }
+    return latest;
+}
+
+JournalEntry
+makeJournalEntry(const std::string &experiment, const RunSpec &spec,
+                 const std::string &fingerprint,
+                 const BenchmarkRun &run)
+{
+    JournalEntry entry;
+    entry.experiment = experiment;
+    entry.bench = benchmarkName(spec.bench);
+    entry.variant = spec.variant;
+    entry.config = fingerprint;
+    entry.outcome = runOutcomeName(run.result.outcome);
+    entry.attempts = run.attempts;
+    entry.runJson = run.restored() ? run.restoredJson
+                                   : renderRunJson(run);
+    return entry;
 }
 
 } // namespace softwatt

@@ -58,6 +58,17 @@ std::string specFingerprint(const RunSpec &spec);
 std::string journalPathFor(const std::string &json_path);
 
 /**
+ * Build the journal record for a finished run: a restored run
+ * contributes its replayed JSON verbatim, a live one is rendered
+ * through renderRunJson() — the same path writeJson() uses, so the
+ * journal round-trip is byte-exact by construction.
+ */
+JournalEntry makeJournalEntry(const std::string &experiment,
+                              const RunSpec &spec,
+                              const std::string &fingerprint,
+                              const BenchmarkRun &run);
+
+/**
  * Append-side of the journal. Thread-safe: workers append entries
  * as their runs finish; each line is written and flushed atomically
  * under a mutex.
@@ -84,6 +95,17 @@ class RunJournal
      */
     static std::vector<JournalEntry>
     load(const std::string &path);
+
+    /**
+     * load() deduplicated on the (experiment, bench, variant,
+     * config) identity key: the last occurrence of each key wins
+     * (it reflects the final retry/diagnose state), and keys keep
+     * their first-seen order so replay stays deterministic. This is
+     * the read path for journals that accumulate across process
+     * generations, like the serve daemon's.
+     */
+    static std::vector<JournalEntry>
+    loadLatest(const std::string &path);
 
   private:
     std::ofstream out;

@@ -192,6 +192,125 @@ JsonWriter::rawValue(const std::string &text)
     }
 }
 
+bool
+jsonUnescape(const std::string &text, std::string &out)
+{
+    out.clear();
+    out.reserve(text.size());
+    for (std::size_t i = 0; i < text.size(); ++i) {
+        char c = text[i];
+        if (c != '\\') {
+            out.push_back(c);
+            continue;
+        }
+        if (++i >= text.size())
+            return false;
+        switch (text[i]) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          case 'u': {
+            if (i + 4 >= text.size())
+                return false;
+            unsigned value = 0;
+            for (int k = 0; k < 4; ++k) {
+                char h = text[++i];
+                value <<= 4;
+                if (h >= '0' && h <= '9')
+                    value |= unsigned(h - '0');
+                else if (h >= 'a' && h <= 'f')
+                    value |= unsigned(h - 'a' + 10);
+                else if (h >= 'A' && h <= 'F')
+                    value |= unsigned(h - 'A' + 10);
+                else
+                    return false;
+            }
+            if (value > 0x7f)
+                return false;  // our writer only emits \u00xx
+            out.push_back(char(value));
+            break;
+          }
+          default:
+            return false;
+        }
+    }
+    return true;
+}
+
+bool
+jsonExtractString(const std::string &line, const std::string &key,
+                  std::string &out)
+{
+    std::string needle = "\"" + key + "\":";
+    std::size_t pos = line.find(needle);
+    if (pos == std::string::npos)
+        return false;
+    pos += needle.size();
+    if (pos >= line.size() || line[pos] != '"')
+        return false;
+    std::size_t cursor = pos + 1;
+    while (cursor < line.size() && line[cursor] != '"') {
+        if (line[cursor] == '\\')
+            ++cursor;
+        ++cursor;
+    }
+    if (cursor >= line.size())
+        return false;  // unterminated: a torn line
+    return jsonUnescape(
+        line.substr(pos + 1, cursor - pos - 1), out);
+}
+
+namespace
+{
+
+/** Locate the digit span of a numeric member; npos pair on miss. */
+bool
+numberSpan(const std::string &line, const std::string &key,
+           std::size_t &begin, std::size_t &end)
+{
+    std::string needle = "\"" + key + "\":";
+    std::size_t pos = line.find(needle);
+    if (pos == std::string::npos)
+        return false;
+    begin = pos + needle.size();
+    end = begin;
+    while (end < line.size() &&
+           (line[end] == '-' ||
+            (line[end] >= '0' && line[end] <= '9'))) {
+        ++end;
+    }
+    return end > begin;
+}
+
+} // namespace
+
+bool
+jsonExtractInt(const std::string &line, const std::string &key,
+               int &out)
+{
+    std::size_t begin = 0, end = 0;
+    if (!numberSpan(line, key, begin, end))
+        return false;
+    auto [ptr, ec] = std::from_chars(line.data() + begin,
+                                     line.data() + end, out);
+    return ec == std::errc() && ptr == line.data() + end;
+}
+
+bool
+jsonExtractUint64(const std::string &line, const std::string &key,
+                  std::uint64_t &out)
+{
+    std::size_t begin = 0, end = 0;
+    if (!numberSpan(line, key, begin, end))
+        return false;
+    auto [ptr, ec] = std::from_chars(line.data() + begin,
+                                     line.data() + end, out);
+    return ec == std::errc() && ptr == line.data() + end;
+}
+
 void
 JsonWriter::writeEscaped(const std::string &text)
 {

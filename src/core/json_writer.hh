@@ -101,6 +101,34 @@ class JsonWriter
     void writeEscaped(const std::string &text);
 };
 
+/**
+ * Reverse of JsonWriter's string escaping: decodes exactly the
+ * escape set our own writer emits (\" \\ \/ \n \r \t and \u00xx for
+ * control bytes). @return false on any sequence the writer could not
+ * have produced — the caller treats the line as torn or foreign.
+ */
+bool jsonUnescape(const std::string &text, std::string &out);
+
+/**
+ * Find `"key":` at the top level of one compact JsonWriter line and
+ * extract its JSON string value (unescaped). Escaped quotes inside
+ * string values can never produce the `"key":` byte sequence, so a
+ * plain substring search is exact for this self-generated format.
+ * These extractors are shared by the resume journal and the serve
+ * protocol, both of which only ever parse documents this codebase
+ * wrote.
+ */
+bool jsonExtractString(const std::string &line,
+                       const std::string &key, std::string &out);
+
+/** jsonExtractString for an int member. */
+bool jsonExtractInt(const std::string &line, const std::string &key,
+                    int &out);
+
+/** jsonExtractString for an unsigned 64-bit member. */
+bool jsonExtractUint64(const std::string &line,
+                       const std::string &key, std::uint64_t &out);
+
 } // namespace softwatt
 
 #endif // SOFTWATT_CORE_JSON_WRITER_HH

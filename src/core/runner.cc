@@ -63,24 +63,6 @@ boolFlag(const Config &args, const std::string &key)
     return value == 1;
 }
 
-/** Restore the previous error handler even on exception paths. */
-class ScopedErrorHandler
-{
-  public:
-    explicit ScopedErrorHandler(ErrorHandler handler)
-        : previous(setErrorHandler(std::move(handler)))
-    {}
-
-    ~ScopedErrorHandler() { setErrorHandler(std::move(previous)); }
-
-    ScopedErrorHandler(const ScopedErrorHandler &) = delete;
-    ScopedErrorHandler &
-    operator=(const ScopedErrorHandler &) = delete;
-
-  private:
-    ErrorHandler previous;
-};
-
 } // namespace
 
 RunSpec &
@@ -429,23 +411,6 @@ writeRunJson(JsonWriter &json, const BenchmarkRun &run)
     json.endObject();
 }
 
-/**
- * Render one run's pretty JSON object as standalone text. The same
- * text is spliced into the final document (via JsonWriter::rawValue)
- * and stored in the resume journal, so a restored run is
- * byte-identical to a live one by construction.
- */
-std::string
-renderRunJson(const BenchmarkRun &run)
-{
-    std::ostringstream text;
-    {
-        JsonWriter json(text);
-        writeRunJson(json, run);
-    }
-    return text.str();
-}
-
 std::string
 runLabel(const RunSpec &spec)
 {
@@ -531,14 +496,37 @@ restoredRun(const std::string &title, const RunSpec &spec,
 }
 
 /**
- * Execute one spec entry behind the exception firewall: a throw
- * (SimError from fatal()/panic(), or anything std::exception-derived
- * from the model) becomes a Failed run record instead of taking the
- * whole experiment down.
+ * One-shot diagnostic rerun of a Failed spec: invariant sweeps
+ * forced on, verbose logging, serial. The rerun replaces the failed
+ * record (attempts=2); if it fails again the two errors are joined.
  */
+void
+diagnoseRun(const std::string &title, const RunSpec &spec,
+            const CancelToken &token, BenchmarkRun &into)
+{
+    status(msg() << "[" << title << "] diagnostic rerun of "
+                 << runLabel(spec)
+                 << " (invariant sweeps forced on)");
+    LogLevel saved = logLevel();
+    setLogLevel(LogLevel::Verbose);
+    BenchmarkRun retry = runSpecProtected(title, spec, token,
+                                          /*forceInvariants=*/true);
+    setLogLevel(saved);
+    retry.attempts = 2;
+    if (retry.result.outcome == RunOutcome::Failed &&
+        retry.error != into.error) {
+        retry.error =
+            into.error + "; diagnostic rerun: " + retry.error;
+        retry.result.diagnostics = retry.error;
+    }
+    into = std::move(retry);
+}
+
+} // namespace
+
 BenchmarkRun
-runProtected(const std::string &title, const RunSpec &spec,
-             const CancelToken &token, bool forceInvariants = false)
+runSpecProtected(const std::string &title, const RunSpec &spec,
+                 const CancelToken &token, bool forceInvariants)
 {
     RunOptions options;
     options.cancel = &token;
@@ -564,69 +552,48 @@ runProtected(const std::string &title, const RunSpec &spec,
     }
 }
 
-/**
- * One-shot diagnostic rerun of a Failed spec: invariant sweeps
- * forced on, verbose logging, serial. The rerun replaces the failed
- * record (attempts=2); if it fails again the two errors are joined.
- */
-void
-diagnoseRun(const std::string &title, const RunSpec &spec,
-            const CancelToken &token, BenchmarkRun &into)
+std::string
+renderRunJson(const BenchmarkRun &run)
 {
-    status(msg() << "[" << title << "] diagnostic rerun of "
-                 << runLabel(spec)
-                 << " (invariant sweeps forced on)");
-    LogLevel saved = logLevel();
-    setLogLevel(LogLevel::Verbose);
-    BenchmarkRun retry = runProtected(title, spec, token,
-                                      /*forceInvariants=*/true);
-    setLogLevel(saved);
-    retry.attempts = 2;
-    if (retry.result.outcome == RunOutcome::Failed &&
-        retry.error != into.error) {
-        retry.error =
-            into.error + "; diagnostic rerun: " + retry.error;
-        retry.result.diagnostics = retry.error;
+    std::ostringstream text;
+    {
+        JsonWriter json(text);
+        writeRunJson(json, run);
     }
-    into = std::move(retry);
+    return text.str();
 }
-
-JournalEntry
-makeEntry(const std::string &title, const RunSpec &spec,
-          const std::string &fingerprint, const BenchmarkRun &run)
-{
-    JournalEntry entry;
-    entry.experiment = title;
-    entry.bench = benchmarkName(spec.bench);
-    entry.variant = spec.variant;
-    entry.config = fingerprint;
-    entry.outcome = runOutcomeName(run.result.outcome);
-    entry.attempts = run.attempts;
-    entry.runJson = renderRunJson(run);
-    return entry;
-}
-
-} // namespace
 
 void
-ExperimentResult::writeJson(std::ostream &out) const
+writeExperimentDocument(std::ostream &out, const std::string &title,
+                        bool interrupted,
+                        const std::vector<std::string> &runJsons)
 {
     JsonWriter json(out);
     json.beginObject();
     json.member("schema", "softwatt-experiment-v2");
-    json.member("experiment", expTitle);
-    json.member("interrupted", wasInterrupted);
+    json.member("experiment", title);
+    json.member("interrupted", interrupted);
     json.key("runs");
     json.beginArray();
-    for (const BenchmarkRun &run : results) {
-        // Restored runs splice their journaled text; live runs are
-        // rendered through the exact same path the journal used.
-        json.rawValue(run.restored() ? run.restoredJson
-                                     : renderRunJson(run));
-    }
+    for (const std::string &text : runJsons)
+        json.rawValue(text);
     json.endArray();
     json.endObject();
     out << '\n';
+}
+
+void
+ExperimentResult::writeJson(std::ostream &out) const
+{
+    // Restored runs splice their journaled text; live runs are
+    // rendered through the exact same path the journal used.
+    std::vector<std::string> runJsons;
+    runJsons.reserve(results.size());
+    for (const BenchmarkRun &run : results) {
+        runJsons.push_back(run.restored() ? run.restoredJson
+                                          : renderRunJson(run));
+    }
+    writeExperimentDocument(out, expTitle, wasInterrupted, runJsons);
 }
 
 ExperimentResult
@@ -727,14 +694,14 @@ runExperiment(const ExperimentSpec &spec)
         if (outcome == RunOutcome::Cancelled ||
             outcome == RunOutcome::Failed)
             return;
-        journal.append(makeEntry(spec.title, runs[i], prints[i],
-                                 run));
+        journal.append(makeJournalEntry(spec.title, runs[i],
+                                        prints[i], run));
     };
 
     auto executeOne = [&](std::size_t i) -> BenchmarkRun {
         if (token.level() >= CancelToken::Drain)
             return skippedRun(runs[i]);
-        return runProtected(spec.title, runs[i], token);
+        return runSpecProtected(spec.title, runs[i], token);
     };
 
     const std::size_t n = runs.size();
@@ -803,8 +770,8 @@ runExperiment(const ExperimentSpec &spec)
         if (spec.diagnose && !token.cancelled())
             diagnoseRun(spec.title, runs[i], token, run);
         if (journal.isOpen()) {
-            journal.append(makeEntry(spec.title, runs[i], prints[i],
-                                     run));
+            journal.append(makeJournalEntry(spec.title, runs[i],
+                                            prints[i], run));
         }
     }
     }  // firewall scope

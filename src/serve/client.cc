@@ -1,0 +1,82 @@
+#include "client.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "sim/logging.hh"
+
+namespace softwatt::serve
+{
+
+bool
+ServeClient::connect(const std::string &socket_path,
+                     std::string &error)
+{
+    sockaddr_un address{};
+    if (socket_path.size() >= sizeof(address.sun_path)) {
+        error = msg() << "socket path '" << socket_path
+                      << "' is too long for AF_UNIX";
+        return false;
+    }
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        error = msg() << "socket(): " << std::strerror(errno);
+        return false;
+    }
+    address.sun_family = AF_UNIX;
+    std::memcpy(address.sun_path, socket_path.c_str(),
+                socket_path.size() + 1);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&address),
+                  sizeof(address)) != 0) {
+        error = msg() << "connect('" << socket_path
+                      << "'): " << std::strerror(errno);
+        ::close(fd);
+        return false;
+    }
+    link = std::make_unique<Session>(fd);
+    return true;
+}
+
+bool
+ServeClient::send(const ServeRequest &request)
+{
+    return link && link->writeLine(renderServeRequest(request));
+}
+
+bool
+ServeClient::receive(ServeResponse &response, std::string &error)
+{
+    if (!link) {
+        error = "not connected";
+        return false;
+    }
+    std::string line;
+    if (!link->readLine(line)) {
+        error = "daemon closed the connection";
+        return false;
+    }
+    return parseServeResponse(line, response, error);
+}
+
+bool
+ServeClient::call(const ServeRequest &request,
+                  ServeResponse &response, std::string &error)
+{
+    if (!send(request)) {
+        error = "cannot send (connection broken)";
+        return false;
+    }
+    return receive(response, error);
+}
+
+void
+ServeClient::disconnect()
+{
+    link.reset();
+}
+
+} // namespace softwatt::serve

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Client side of the serve protocol: connect to the daemon's unix
+ * socket, submit requests, collect responses. Used by the
+ * softwatt-serve-client binary, the stress harness, and tests.
+ */
+
+#ifndef SOFTWATT_SERVE_CLIENT_HH
+#define SOFTWATT_SERVE_CLIENT_HH
+
+#include <memory>
+#include <string>
+
+#include "protocol.hh"
+#include "session.hh"
+
+namespace softwatt::serve
+{
+
+/** A connection to a softwatt-serve daemon. */
+class ServeClient
+{
+  public:
+    ServeClient() = default;
+
+    /**
+     * Connect to the daemon listening at @p socket_path.
+     * @return false with @p error set when the daemon is not there.
+     */
+    bool connect(const std::string &socket_path, std::string &error);
+
+    bool connected() const { return link != nullptr; }
+
+    /** Send one request line; false on a broken connection. */
+    bool send(const ServeRequest &request);
+
+    /**
+     * Block for the next response line. @return false with @p error
+     * set on disconnect or a malformed line.
+     */
+    bool receive(ServeResponse &response, std::string &error);
+
+    /** send() + receive() for the simple one-at-a-time pattern. */
+    bool call(const ServeRequest &request, ServeResponse &response,
+              std::string &error);
+
+    /** Drop the connection (mid-flight jobs keep running server-side). */
+    void disconnect();
+
+    /** The underlying session (tests poke at it directly). */
+    Session *session() { return link.get(); }
+
+  private:
+    std::unique_ptr<Session> link;
+};
+
+} // namespace softwatt::serve
+
+#endif // SOFTWATT_SERVE_CLIENT_HH

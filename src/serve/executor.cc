@@ -1,0 +1,139 @@
+#include "executor.hh"
+
+#include <chrono>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "workload/workload.hh"
+
+namespace softwatt::serve
+{
+
+bool
+parseServeSpec(const std::string &text, RunSpec &spec,
+               std::string &benchName, std::string &error)
+{
+    ScopedErrorHandler firewall(throwingErrorHandler);
+    try {
+        Config cfg;
+        std::istringstream words(text);
+        std::string word;
+        while (words >> word) {
+            if (!cfg.parseAssignment(word)) {
+                fatal(msg() << "spec: '" << word
+                            << "' is not a key=value assignment");
+            }
+        }
+        std::string name = cfg.getString("bench", "jess");
+        double scale = cfg.getDouble("scale", 0.2);
+        std::string variant = cfg.getString("variant", "");
+        double deadlineS = cfg.getDouble("deadline_s", 0.0);
+        double graceS = cfg.getDouble("grace_s", 0.0);
+        if (!(scale > 0.0) || scale > 1e6) {
+            fatal(msg() << "spec: scale must be in (0, 1e6] (got "
+                        << scale << ")");
+        }
+        spec.bench = benchmarkByName(name);
+        spec.variant = variant;
+        spec.scale = scale;
+        spec.config = SystemConfig::fromConfig(cfg);
+        if (spec.config.deadlineSeconds <= 0.0)
+            spec.config.deadlineSeconds = deadlineS;
+        if (spec.config.shutdownGraceSeconds <= 0.0)
+            spec.config.shutdownGraceSeconds = graceS;
+        spec.config.validate();
+        std::vector<std::string> unused = cfg.unusedKeys();
+        if (!unused.empty()) {
+            msg report;
+            report << "spec: unknown key(s):";
+            for (const std::string &key : unused)
+                report << " " << key;
+            fatal(report);
+        }
+        benchName = benchmarkName(spec.bench);
+        return true;
+    } catch (const std::exception &e) {
+        error = e.what();
+        return false;
+    }
+}
+
+ServeExecResult
+executeServeSpec(RunSpec spec, const ServeExecOptions &options,
+                 const CancelToken &token)
+{
+    ServeExecResult result;
+
+    // Arm the warm-start plumbing: autosave to a private in-flight
+    // path (concurrent same-config jobs must never race on one
+    // file), and restore from the pool's warm image when one exists.
+    bool armed = false;
+    std::uint64_t key = 0;
+    std::string inflight;
+    if (options.pool && options.warmEveryS > 0.0) {
+        try {
+            key = machineCheckpointFingerprint(spec.bench,
+                                               spec.config,
+                                               spec.scale);
+            inflight = options.pool->inflightPath(key);
+            spec.checkpointEveryS = options.warmEveryS;
+            spec.checkpointPath = inflight;
+            spec.restorePath = options.pool->lookup(key);
+            armed = true;
+        } catch (const std::exception &e) {
+            // Fingerprinting constructs the machine; a config the
+            // machine rejects will fail identically in the run
+            // proper, which reports it properly. Run cold here.
+            warn(msg() << "serve executor: warm-start disabled for "
+                       << "this job (" << e.what() << ")");
+            spec.checkpointEveryS = 0.0;
+            spec.checkpointPath.clear();
+            spec.restorePath.clear();
+        }
+    }
+
+    int attempt = 0;
+    int maxAttempts = 1 + (options.retries > 0 ? options.retries : 0);
+    for (;;) {
+        ++attempt;
+        bool last = attempt >= maxAttempts;
+        // The final retry mirrors diagnose=1: invariant sweeps on,
+        // so the error that survives names the broken contract.
+        result.run = runSpecProtected(options.title, spec, token,
+                                      /*forceInvariants=*/last &&
+                                          attempt > 1);
+        if (result.run.result.outcome != RunOutcome::Failed ||
+            last || token.cancelled())
+            break;
+        // A failure after a warm start could be the image's fault;
+        // retry cold. Identical cadence keeps the document bytes
+        // unchanged either way.
+        spec.restorePath.clear();
+        std::uint64_t delay = options.backoffMs
+                              << std::uint64_t(attempt - 1);
+        if (delay > 0) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(delay));
+        }
+    }
+
+    if (armed) {
+        if (result.run.hasData() &&
+            result.run.result.outcome != RunOutcome::Failed)
+            options.pool->promote(key, inflight);
+        else
+            options.pool->discard(inflight);
+    }
+
+    result.attempts = attempt;
+    result.run.attempts = attempt;
+    result.warmStarted = result.run.warmStarted;
+    result.warmStartTick = result.run.warmStartTick;
+    result.ticksExecuted = result.run.ticksExecuted;
+    result.runJson = renderRunJson(result.run);
+    return result;
+}
+
+} // namespace softwatt::serve

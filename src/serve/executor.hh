@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Per-job execution policy of the serve daemon: warm-start from the
+ * checkpoint pool, bounded retries with exponential backoff, and the
+ * evidence (attempts, warm-start tick, executed ticks) the response
+ * envelope reports.
+ *
+ * The executor is deliberately independent of sockets and threads so
+ * tests can drive it directly; the daemon calls it from worker
+ * threads with a per-job CancelToken.
+ */
+
+#ifndef SOFTWATT_SERVE_EXECUTOR_HH
+#define SOFTWATT_SERVE_EXECUTOR_HH
+
+#include <cstdint>
+#include <string>
+
+#include "core/runner.hh"
+
+#include "checkpoint_pool.hh"
+
+namespace softwatt::serve
+{
+
+/** Service-wide execution policy applied to every job. */
+struct ServeExecOptions
+{
+    /** Experiment title used in run logs. */
+    std::string title = "serve";
+
+    /**
+     * Extra attempts after the first for a run that Failed inside
+     * the exception firewall. The final attempt runs with the
+     * invariant sweeps forced on, mirroring diagnose=1, so the last
+     * error message pinpoints the broken contract.
+     */
+    int retries = 0;
+
+    /** Backoff before retry k is backoffMs << (k-1) milliseconds. */
+    std::uint64_t backoffMs = 0;
+
+    /**
+     * Autosave cadence in simulated seconds; 0 disables
+     * checkpointing entirely (and with it warm starts). Checkpoints
+     * are a deterministic perturbation, so every run of a config —
+     * warm, cold, or reference — must use the same cadence for
+     * byte-identical documents.
+     */
+    double warmEveryS = 0.0;
+
+    /** Warm image pool; null disables checkpointing like warmEveryS=0. */
+    CheckpointPool *pool = nullptr;
+};
+
+/** Everything the daemon needs to answer for one executed job. */
+struct ServeExecResult
+{
+    BenchmarkRun run;
+
+    /** Pre-rendered run object (journal + document splice text). */
+    std::string runJson;
+
+    /** Attempts consumed (1 = no retries needed). */
+    int attempts = 1;
+
+    bool warmStarted = false;
+    std::uint64_t warmStartTick = 0;
+    std::uint64_t ticksExecuted = 0;
+};
+
+/**
+ * Execute @p spec under the service policy. Never throws: failures
+ * come back as a run with RunOutcome::Failed. Requires a throwing
+ * error handler to be installed (the daemon installs one for its
+ * lifetime; see runSpecProtected).
+ */
+ServeExecResult executeServeSpec(RunSpec spec,
+                                 const ServeExecOptions &options,
+                                 const CancelToken &token);
+
+/**
+ * Parse a request's "key=value ..." spec text into a RunSpec: the
+ * run keys (bench=, scale=, variant=, deadline_s=, grace_s=) plus
+ * every machine key SystemConfig::fromConfig accepts; unknown keys
+ * are rejected. The daemon and the client's cold-reference mode both
+ * use this, so a spec means the same thing on either side of the
+ * socket. Never terminates: errors come back through @p error.
+ */
+bool parseServeSpec(const std::string &text, RunSpec &spec,
+                    std::string &benchName, std::string &error);
+
+} // namespace softwatt::serve
+
+#endif // SOFTWATT_SERVE_EXECUTOR_HH

@@ -1,0 +1,131 @@
+#include "protocol.hh"
+
+#include <sstream>
+
+#include "core/json_writer.hh"
+#include "sim/logging.hh"
+
+namespace softwatt::serve
+{
+
+std::string
+renderServeRequest(const ServeRequest &request)
+{
+    std::ostringstream line;
+    {
+        JsonWriter json(line, 0);
+        json.beginObject();
+        json.member("schema", requestSchema);
+        json.member("op", request.op);
+        json.member("id", request.id);
+        json.member("client", request.client);
+        json.member("experiment", request.experiment);
+        json.member("spec", request.spec);
+        json.member("wall_ms", request.wallMs);
+        json.endObject();
+    }
+    return line.str();
+}
+
+bool
+parseServeRequest(const std::string &line, ServeRequest &out,
+                  std::string &error)
+{
+    std::string schema;
+    if (line.empty() || line.front() != '{' || line.back() != '}' ||
+        !jsonExtractString(line, "schema", schema) ||
+        schema != requestSchema) {
+        error = msg() << "not a " << requestSchema << " line";
+        return false;
+    }
+    if (!jsonExtractString(line, "op", out.op))
+        out.op = "run";
+    if (out.op != "run" && out.op != "cancel") {
+        error = msg() << "unknown op '" << out.op << "'";
+        return false;
+    }
+    if (!jsonExtractString(line, "id", out.id) || out.id.empty()) {
+        error = "request is missing an id";
+        return false;
+    }
+    if (!jsonExtractString(line, "client", out.client) ||
+        out.client.empty()) {
+        error = "request is missing a client name";
+        return false;
+    }
+    if (!jsonExtractString(line, "experiment", out.experiment))
+        out.experiment = "serve";
+    if (!jsonExtractString(line, "spec", out.spec))
+        out.spec.clear();
+    if (out.op == "run" && out.spec.empty()) {
+        error = "run request carries no spec";
+        return false;
+    }
+    if (!jsonExtractUint64(line, "wall_ms", out.wallMs))
+        out.wallMs = 0;
+    return true;
+}
+
+std::string
+renderServeResponse(const ServeResponse &response)
+{
+    std::ostringstream line;
+    {
+        JsonWriter json(line, 0);
+        json.beginObject();
+        json.member("schema", responseSchema);
+        json.member("id", response.id);
+        json.member("status", response.status);
+        json.member("error", response.error);
+        json.member("served_from", response.servedFrom);
+        json.member("warm_start", response.warmStart ? 1 : 0);
+        json.member("warm_start_tick", response.warmStartTick);
+        json.member("ticks_executed", response.ticksExecuted);
+        json.member("attempts", response.attempts);
+        json.member("document", response.document);
+        json.endObject();
+    }
+    return line.str();
+}
+
+bool
+parseServeResponse(const std::string &line, ServeResponse &out,
+                   std::string &error)
+{
+    std::string schema;
+    if (line.empty() || line.front() != '{' || line.back() != '}' ||
+        !jsonExtractString(line, "schema", schema) ||
+        schema != responseSchema) {
+        error = msg() << "not a " << responseSchema << " line";
+        return false;
+    }
+    if (!jsonExtractString(line, "id", out.id)) {
+        error = "response is missing an id";
+        return false;
+    }
+    if (!jsonExtractString(line, "status", out.status) ||
+        out.status.empty()) {
+        error = "response is missing a status";
+        return false;
+    }
+    if (!jsonExtractString(line, "error", out.error))
+        out.error.clear();
+    if (!jsonExtractString(line, "served_from", out.servedFrom))
+        out.servedFrom.clear();
+    int warm = 0;
+    out.warmStart = jsonExtractInt(line, "warm_start", warm) &&
+                    warm != 0;
+    if (!jsonExtractUint64(line, "warm_start_tick",
+                           out.warmStartTick))
+        out.warmStartTick = 0;
+    if (!jsonExtractUint64(line, "ticks_executed",
+                           out.ticksExecuted))
+        out.ticksExecuted = 0;
+    if (!jsonExtractInt(line, "attempts", out.attempts))
+        out.attempts = 0;
+    if (!jsonExtractString(line, "document", out.document))
+        out.document.clear();
+    return true;
+}
+
+} // namespace softwatt::serve

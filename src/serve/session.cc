@@ -1,0 +1,79 @@
+#include "session.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace softwatt::serve
+{
+
+Session::Session(int fd) : sock(fd) {}
+
+Session::~Session()
+{
+    if (sock >= 0)
+        ::close(sock);
+}
+
+bool
+Session::readLine(std::string &line)
+{
+    for (;;) {
+        std::size_t nl = inbox.find('\n');
+        if (nl != std::string::npos) {
+            line = inbox.substr(0, nl);
+            inbox.erase(0, nl + 1);
+            return true;
+        }
+        char buffer[4096];
+        ssize_t n = ::recv(sock, buffer, sizeof(buffer), 0);
+        if (n > 0) {
+            inbox.append(buffer, std::size_t(n));
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        // EOF or error: a partial trailing line is torn — the peer
+        // died mid-send — and is deliberately dropped.
+        if (n < 0)
+            brokenFlag.store(true, std::memory_order_release);
+        inbox.clear();
+        return false;
+    }
+}
+
+bool
+Session::writeLine(const std::string &line)
+{
+    std::lock_guard<std::mutex> lock(writeMutex);
+    if (brokenFlag.load(std::memory_order_acquire))
+        return false;
+    std::string text = line + '\n';
+    std::size_t sent = 0;
+    while (sent < text.size()) {
+        // MSG_NOSIGNAL: a vanished peer must yield EPIPE, not a
+        // process-killing SIGPIPE, even when no SignalGuard is
+        // active (tests drive sessions without one).
+        ssize_t n = ::send(sock, text.data() + sent,
+                           text.size() - sent, MSG_NOSIGNAL);
+        if (n > 0) {
+            sent += std::size_t(n);
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        brokenFlag.store(true, std::memory_order_release);
+        return false;
+    }
+    return true;
+}
+
+void
+Session::shutdownBoth()
+{
+    ::shutdown(sock, SHUT_RDWR);
+}
+
+} // namespace softwatt::serve

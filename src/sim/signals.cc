@@ -48,9 +48,17 @@ SignalGuard::SignalGuard(CancelToken &token)
     action.sa_flags = 0;
     // SIGHUP takes the same path as SIGTERM: a vanished controlling
     // terminal means "wrap up", not "die mid-write".
+    // SIGPIPE is ignored outright: a disconnected peer must surface
+    // as an EPIPE write error handled per-session, never as a
+    // process-killing signal.
+    struct sigaction ignore = {};
+    ignore.sa_handler = SIG_IGN;
+    sigemptyset(&ignore.sa_mask);
+    ignore.sa_flags = 0;
     if (sigaction(SIGINT, &action, &previousInt) != 0 ||
         sigaction(SIGTERM, &action, &previousTerm) != 0 ||
-        sigaction(SIGHUP, &action, &previousHup) != 0) {
+        sigaction(SIGHUP, &action, &previousHup) != 0 ||
+        sigaction(SIGPIPE, &ignore, &previousPipe) != 0) {
         activeToken.store(nullptr, std::memory_order_release);
         panic("SignalGuard: sigaction failed");
     }
@@ -61,6 +69,7 @@ SignalGuard::~SignalGuard()
     sigaction(SIGINT, &previousInt, nullptr);
     sigaction(SIGTERM, &previousTerm, nullptr);
     sigaction(SIGHUP, &previousHup, nullptr);
+    sigaction(SIGPIPE, &previousPipe, nullptr);
     activeToken.store(nullptr, std::memory_order_release);
 }
 

@@ -8,9 +8,13 @@
  * stop at their next sample-window boundary). SIGHUP gets the same
  * graceful-drain treatment as SIGTERM so a closed terminal or a
  * dropped ssh connection checkpoints and journals in-flight work
- * instead of killing the sweep. The guard restores the previous
- * handlers on destruction, so signal disposition never leaks past
- * the experiment that installed it.
+ * instead of killing the sweep. While a guard is active, SIGPIPE is
+ * ignored: a peer that disconnects mid-write (a serve client gone
+ * away, a closed pipe on the report stream) surfaces as an EPIPE
+ * write error the caller can handle per-session instead of a signal
+ * that kills the process. The guard restores the previous handlers
+ * on destruction, so signal disposition never leaks past the
+ * experiment (or daemon) that installed it.
  *
  * The determinism linter (tools/lint, rule raw-signal) bans
  * signal()/sigaction() everywhere else: ad-hoc handlers would race
@@ -53,6 +57,7 @@ class SignalGuard
     struct sigaction previousInt;
     struct sigaction previousTerm;
     struct sigaction previousHup;
+    struct sigaction previousPipe;
 };
 
 } // namespace softwatt

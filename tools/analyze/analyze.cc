@@ -802,6 +802,9 @@ layerDag()
         {"workload", {"sim", "cpu", "os"}},
         {"core",
          {"sim", "power", "mem", "disk", "cpu", "os", "workload"}},
+        {"serve",
+         {"sim", "power", "mem", "disk", "cpu", "os", "workload",
+          "core"}},
     };
     return dag;
 }
