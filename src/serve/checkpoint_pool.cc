@@ -83,6 +83,7 @@ CheckpointPool::recover()
     std::error_code ec;
     std::vector<std::string> poolFiles;
     std::vector<std::pair<std::uint64_t, std::string>> orphans;
+    std::vector<std::pair<std::uint64_t, std::string>> poolRotated;
     std::vector<std::string> rotated;
     for (const fs::directory_entry &entry :
          fs::directory_iterator(dir, ec)) {
@@ -93,6 +94,13 @@ CheckpointPool::recover()
         std::string rest = name.substr(16);
         if (rest == ".ckpt") {
             poolFiles.push_back(name);
+        } else if (rest == ".ckpt.1") {
+            // A rotated pool generation. With its base alive it is
+            // budgeted alongside it below; with the base vanished
+            // (crash between promote's rotate and rename) it must be
+            // promoted back into the slot or deleted, or it is never
+            // tracked and leaks across daemon generations.
+            poolRotated.emplace_back(key, entry.path().string());
         } else if (rest.compare(0, 10, ".inflight.") == 0) {
             if (rest.size() > 5 &&
                 rest.compare(rest.size() - 5, 5, ".ckpt") == 0)
@@ -133,6 +141,26 @@ CheckpointPool::recover()
     };
 
     std::size_t promoted = 0;
+    std::sort(poolRotated.begin(), poolRotated.end());
+    for (const auto &[key, path] : poolRotated) {
+        if (sizes.count(key))
+            continue;  // Base alive; already budgeted beside it.
+        // The newest generation is gone: the survivor becomes the
+        // pool slot again when it verifies, and is deleted when torn
+        // (or the pool runs in scratch mode).
+        std::error_code rc;
+        if (budget > 0 && verifies(path)) {
+            fs::rename(path, poolPath(key), rc);
+            if (!rc) {
+                lru.push_back(key);
+                refreshSizeLocked(key);
+                ++promoted;
+                continue;
+            }
+        }
+        removeQuiet(path);
+    }
+
     for (const auto &[key, path] : orphans) {
         // Only promote an image that verifies end-to-end: an orphan
         // torn by SIGKILL mid-write must not poison the pool slot.
@@ -173,8 +201,8 @@ CheckpointPool::recover()
     enforceBudgetLocked();
     if (promoted > 0) {
         inform(msg() << "checkpoint pool: promoted " << promoted
-                     << " in-flight image(s) orphaned by a previous "
-                     << "daemon generation");
+                     << " image(s) orphaned by a previous daemon "
+                     << "generation");
     }
     return promoted;
 }

@@ -53,9 +53,11 @@ class CheckpointPool
     CheckpointPool &operator=(const CheckpointPool &) = delete;
 
     /**
-     * Scan the directory: index existing pool images and promote
-     * in-flight orphans a killed daemon left behind.
-     * @return number of orphans promoted.
+     * Scan the directory: index existing pool images, promote
+     * in-flight orphans a killed daemon left behind, and recover
+     * rotated pool generations whose base image vanished (promoted
+     * back into their slot when intact, deleted when torn — never
+     * left untracked on disk). @return number of images promoted.
      */
     std::size_t recover();
 

@@ -1,6 +1,8 @@
 #include "executor.hh"
 
+#include <algorithm>
 #include <chrono>
+#include <optional>
 #include <sstream>
 #include <thread>
 #include <vector>
@@ -11,11 +13,35 @@
 namespace softwatt::serve
 {
 
+std::uint64_t
+retryBackoffMs(std::uint64_t baseMs, int attempt)
+{
+    // serve_retries allows dozens of attempts; an unclamped shift is
+    // undefined behaviour from attempt 65 on and a multi-day sleep
+    // long before that. Cap the growth at 2^6 and the delay at a few
+    // seconds (never below an explicitly larger base) so a worker
+    // thread is never wedged on one job's backoff.
+    constexpr std::uint64_t maxShift = 6;
+    constexpr std::uint64_t capMs = 5000;
+    std::uint64_t shift =
+        std::min(std::uint64_t(attempt > 0 ? attempt - 1 : 0),
+                 maxShift);
+    return std::min(baseMs << shift, std::max(baseMs, capMs));
+}
+
 bool
 parseServeSpec(const std::string &text, RunSpec &spec,
                std::string &benchName, std::string &error)
 {
-    ScopedErrorHandler firewall(throwingErrorHandler);
+    // The daemon installs one process-wide throwing handler for its
+    // whole lifetime (serveUntil), and this runs on its session
+    // threads: swapping the global handler per call would race the
+    // swaps against each other and against worker threads reading
+    // the handler inside running jobs. Install one only when the
+    // caller has not (the single-threaded client and test paths).
+    std::optional<ScopedErrorHandler> firewall;
+    if (!errorHandlerInstalled())
+        firewall.emplace(throwingErrorHandler);
     try {
         Config cfg;
         std::istringstream words(text);
@@ -111,12 +137,19 @@ executeServeSpec(RunSpec spec, const ServeExecOptions &options,
         // retry cold. Identical cadence keeps the document bytes
         // unchanged either way.
         spec.restorePath.clear();
-        std::uint64_t delay = options.backoffMs
-                              << std::uint64_t(attempt - 1);
-        if (delay > 0) {
+        std::uint64_t delay =
+            retryBackoffMs(options.backoffMs, attempt);
+        // Sleep in slices so a cancel (client, wall deadline, or
+        // daemon shutdown) is not held hostage by the backoff.
+        auto until = std::chrono::steady_clock::now() +
+                     std::chrono::milliseconds(delay);
+        while (!token.cancelled() &&
+               std::chrono::steady_clock::now() < until) {
             std::this_thread::sleep_for(
-                std::chrono::milliseconds(delay));
+                std::chrono::milliseconds(10));
         }
+        if (token.cancelled())
+            break;
     }
 
     if (armed) {

@@ -37,7 +37,10 @@ struct ServeExecOptions
      */
     int retries = 0;
 
-    /** Backoff before retry k is backoffMs << (k-1) milliseconds. */
+    /**
+     * Base retry backoff; the delay before retry k is
+     * retryBackoffMs(backoffMs, k): exponential but clamped.
+     */
     std::uint64_t backoffMs = 0;
 
     /**
@@ -89,6 +92,14 @@ ServeExecResult executeServeSpec(RunSpec spec,
  */
 bool parseServeSpec(const std::string &text, RunSpec &spec,
                     std::string &benchName, std::string &error);
+
+/**
+ * Backoff before retry @p attempt (1-based index of the attempt that
+ * just failed): @p baseMs doubled per attempt, with the growth
+ * factor capped at 2^6 and the delay capped at max(baseMs, 5000) ms
+ * — defined for every attempt count serve_retries allows.
+ */
+std::uint64_t retryBackoffMs(std::uint64_t baseMs, int attempt);
 
 } // namespace softwatt::serve
 

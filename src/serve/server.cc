@@ -272,10 +272,17 @@ ServeServer::serveUntil(CancelToken &token)
         if (fd < 0)
             continue;
         auto session = std::make_shared<Session>(fd);
+        auto done = std::make_shared<std::atomic<bool>>(false);
         std::lock_guard<std::mutex> lock(sessionsMutex);
-        sessions.push_back(session);
-        sessionThreads.emplace_back(&ServeServer::sessionLoop, this,
-                                    session);
+        reapSessionsLocked();
+        SessionWorker worker;
+        worker.session = session;
+        worker.done = done;
+        worker.thread = std::thread([this, session, done] {
+            sessionLoop(session);
+            done->store(true);
+        });
+        sessionWorkers.push_back(std::move(worker));
     }
 
     // The queue is closed and drained, so the dispatcher exits; the
@@ -286,16 +293,15 @@ ServeServer::serveUntil(CancelToken &token)
     stopDeadline.store(true);
     deadliner.join();
 
+    std::vector<SessionWorker> leftover;
     {
         std::lock_guard<std::mutex> lock(sessionsMutex);
-        for (const std::weak_ptr<Session> &weak : sessions)
-            if (auto session = weak.lock())
-                session->shutdownBoth();
+        leftover.swap(sessionWorkers);
     }
-    for (std::thread &thread : sessionThreads)
-        thread.join();
-    sessionThreads.clear();
-    sessions.clear();
+    for (SessionWorker &worker : leftover)
+        worker.session->shutdownBoth();
+    for (SessionWorker &worker : leftover)
+        worker.thread.join();
 
     status(msg() << "serve: drained (" << executed.load()
                  << " executed, " << journalHit.load()
@@ -568,6 +574,28 @@ ServeServer::eraseLive(const JobPtr &job)
 {
     std::lock_guard<std::mutex> lock(liveMutex);
     live.erase(liveKey(job->request.client, job->request.id));
+}
+
+void
+ServeServer::reapSessionsLocked()
+{
+    for (auto it = sessionWorkers.begin();
+         it != sessionWorkers.end();) {
+        if (it->done->load()) {
+            it->thread.join();
+            it = sessionWorkers.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+std::size_t
+ServeServer::sessionCount()
+{
+    std::lock_guard<std::mutex> lock(sessionsMutex);
+    reapSessionsLocked();
+    return sessionWorkers.size();
 }
 
 } // namespace softwatt::serve

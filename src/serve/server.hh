@@ -130,6 +130,12 @@ class ServeServer
     std::uint64_t shedJobs() const { return shed.load(); }
     std::uint64_t warmStartedJobs() const { return warmStarted.load(); }
 
+    /**
+     * Sessions currently tracked, after reaping finished ones —
+     * bounded by the live client count, not the accept history.
+     */
+    std::size_t sessionCount();
+
   private:
     /** One admitted run request. */
     struct Job
@@ -173,6 +179,9 @@ class ServeServer
                                const std::string &id);
     void eraseLive(const JobPtr &job);
 
+    /** Join and drop every session whose reader thread has exited. */
+    void reapSessionsLocked();
+
     ServeOptions opts;
     int listenFd = -1;
     RunJournal journal;
@@ -191,9 +200,22 @@ class ServeServer
     std::mutex slotMutex;
     std::condition_variable slotFree;
 
+    /**
+     * One accepted connection: its session, its reader thread, and
+     * the flag the thread raises on exit so the accept loop can join
+     * it. A long-lived daemon serves many short-lived clients;
+     * finished workers are reaped on every accept, not hoarded until
+     * shutdown.
+     */
+    struct SessionWorker
+    {
+        std::shared_ptr<Session> session;
+        std::shared_ptr<std::atomic<bool>> done;
+        std::thread thread;
+    };
+
     std::mutex sessionsMutex;
-    std::vector<std::weak_ptr<Session>> sessions;
-    std::vector<std::thread> sessionThreads;
+    std::vector<SessionWorker> sessionWorkers;
 
     std::atomic<bool> stopDeadline{false};
     std::atomic<std::uint64_t> executed{0};

@@ -12,13 +12,36 @@ namespace
 {
 
 std::atomic<LogLevel> globalLevel{LogLevel::Normal};
-ErrorHandler globalErrorHandler;
+
+/**
+ * Guards the global error handler. std::function cannot be atomic,
+ * and the serve daemon's worker threads read the handler inside
+ * fatal()/panic() while other threads may install one, so every
+ * access goes through this mutex; fatal()/panic() copy the handler
+ * out and invoke it unlocked (a handler is free to throw or to
+ * install another handler).
+ */
+std::mutex &
+handlerMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+ErrorHandler globalErrorHandler;  // guarded by handlerMutex()
+
+ErrorHandler
+currentErrorHandler()
+{
+    std::lock_guard<std::mutex> lock(handlerMutex());
+    return globalErrorHandler;
+}
 
 /**
  * Serializes message emission: experiment runs execute on a thread
  * pool, so concurrent warn()/status() calls must not interleave
- * their bytes. (The level and handler setters stay main-thread
- * operations; only emission is contended.)
+ * their bytes. (The level setter stays a main-thread operation;
+ * only emission is contended.)
  */
 std::mutex &
 outputMutex()
@@ -39,9 +62,17 @@ emit(const char *prefix, const std::string &message)
 ErrorHandler
 setErrorHandler(ErrorHandler handler)
 {
+    std::lock_guard<std::mutex> lock(handlerMutex());
     ErrorHandler previous = std::move(globalErrorHandler);
     globalErrorHandler = std::move(handler);
     return previous;
+}
+
+bool
+errorHandlerInstalled()
+{
+    std::lock_guard<std::mutex> lock(handlerMutex());
+    return bool(globalErrorHandler);
 }
 
 void
@@ -65,8 +96,8 @@ logLevel()
 void
 fatal(const std::string &message)
 {
-    if (globalErrorHandler) {
-        globalErrorHandler(ErrorKind::Fatal, message);
+    if (ErrorHandler handler = currentErrorHandler()) {
+        handler(ErrorKind::Fatal, message);
         // A handler that returns must not fall through to exit():
         // with a handler installed the process belongs to a test or
         // an embedding application, which is never hard-killed.
@@ -79,8 +110,8 @@ fatal(const std::string &message)
 void
 panic(const std::string &message)
 {
-    if (globalErrorHandler) {
-        globalErrorHandler(ErrorKind::Panic, message);
+    if (ErrorHandler handler = currentErrorHandler()) {
+        handler(ErrorKind::Panic, message);
         throw SimError(ErrorKind::Panic, message);
     }
     emit("panic: ", message);

@@ -66,8 +66,13 @@ using ErrorHandler =
 /**
  * Install an error handler; pass nullptr to restore the default
  * terminate behaviour. @return the previously installed handler.
+ * The handler storage is synchronized: worker threads may hit
+ * fatal()/panic() while another thread installs a handler.
  */
 ErrorHandler setErrorHandler(ErrorHandler handler);
+
+/** Whether an error handler is currently installed. */
+bool errorHandlerInstalled();
 
 /** Exception thrown by throwingErrorHandler(). */
 class SimError : public std::runtime_error

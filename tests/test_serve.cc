@@ -496,6 +496,35 @@ TEST_F(ServeDirTest, PoolRecoversOrphansAndDropsTornOnes)
     EXPECT_NO_THROW(softwatt::readCheckpoint(pool.lookup(torn)));
 }
 
+TEST_F(ServeDirTest, PoolRecoversRotatedGenerationWithoutBase)
+{
+    const std::uint64_t lost = 0x44;
+    const std::uint64_t torn = 0x55;
+
+    // A rotated pool generation whose newest image vanished (crash
+    // between promote's rotate and rename): recovery must put the
+    // survivor back into the pool slot, not leak it untracked.
+    std::string lostBase = dir + "/" + CheckpointPool::keyName(lost);
+    writeCheckpoint(lostBase + ".1", makeImage(lost, 128));
+
+    // Same shape but the survivor itself is torn: recovery must
+    // delete it rather than leave it on disk forever.
+    std::string tornBase = dir + "/" + CheckpointPool::keyName(torn);
+    writeCheckpoint(tornBase + ".1", makeImage(torn, 256));
+    fs::resize_file(tornBase + ".1",
+                    fs::file_size(tornBase + ".1") / 2);
+
+    CheckpointPool pool(dir, 64 << 20);
+    EXPECT_EQ(pool.recover(), 1u);
+    EXPECT_EQ(pool.entries(), 1u);
+    EXPECT_EQ(pool.lookup(lost), lostBase);
+    EXPECT_TRUE(fs::exists(lostBase));
+    EXPECT_FALSE(fs::exists(lostBase + ".1"));
+    EXPECT_NO_THROW(softwatt::readCheckpoint(lostBase));
+    EXPECT_EQ(pool.lookup(torn), "");
+    EXPECT_FALSE(fs::exists(tornBase + ".1"));
+}
+
 // ---------------------------------------------------------------
 // Spec parsing and service options
 
@@ -533,6 +562,45 @@ TEST(ServeSpec, RejectsBadSpecsWithoutTerminating)
     EXPECT_FALSE(parseServeSpec("bench=jess bogus_key=1", spec,
                                 bench, error));
     EXPECT_NE(error.find("bogus_key"), std::string::npos);
+}
+
+TEST(ServeSpec, UsesTheCallersInstalledHandler)
+{
+    // With a handler already installed (as in the daemon, for its
+    // whole lifetime), parsing must not swap the process-global
+    // handler — session threads would race each other doing so. The
+    // caller's handler observing the error proves it stayed put.
+    int calls = 0;
+    ScopedErrorHandler firewall(
+        [&calls](softwatt::ErrorKind, const std::string &) {
+            ++calls;
+        });
+    RunSpec spec;
+    std::string bench, error;
+    EXPECT_FALSE(parseServeSpec("notakv", spec, bench, error));
+    EXPECT_EQ(calls, 1);
+    EXPECT_NE(error.find("notakv"), std::string::npos);
+}
+
+TEST(ServeExecutor, RetryBackoffIsClampedAndDefined)
+{
+    using softwatt::serve::retryBackoffMs;
+
+    // The plain exponential prefix.
+    EXPECT_EQ(retryBackoffMs(100, 1), 100u);
+    EXPECT_EQ(retryBackoffMs(100, 2), 200u);
+    EXPECT_EQ(retryBackoffMs(100, 5), 1600u);
+
+    // Growth caps at 2^6 and the delay at a few seconds; attempt
+    // counts past 64 (serve_retries allows 100) must stay defined
+    // instead of shifting a 64-bit value by >= 64.
+    EXPECT_EQ(retryBackoffMs(100, 7), 5000u);
+    EXPECT_EQ(retryBackoffMs(100, 65), 5000u);
+    EXPECT_EQ(retryBackoffMs(100, 100), 5000u);
+    EXPECT_EQ(retryBackoffMs(0, 100), 0u);
+
+    // An explicitly large base is honoured but never exceeded.
+    EXPECT_EQ(retryBackoffMs(60000, 3), 60000u);
 }
 
 TEST(ServeSpec, OptionsValidateRanges)
@@ -915,4 +983,46 @@ TEST_F(ServeDirTest, ServerCancelsAndEnforcesWallDeadlines)
     EXPECT_EQ(response.status, "ok");
     EXPECT_NE(response.error.find("no in-flight job"),
               std::string::npos);
+}
+
+TEST_F(ServeDirTest, ServerReapsFinishedSessionThreads)
+{
+    ServeOptions options;
+    options.socketPath = dir + "/serve.sock";
+    options.statePath = dir + "/state";
+    options.jobs = 1;
+    options.retries = 0;
+
+    ServeServer server(options);
+    std::string error;
+    ASSERT_TRUE(server.start(error)) << error;
+    ServerThread running(server);
+
+    // A long-lived daemon serving many short-lived clients must not
+    // accumulate one unjoined thread per historical connection.
+    for (int i = 0; i < 8; ++i) {
+        ServeClient churn;
+        ASSERT_TRUE(churn.connect(options.socketPath, error))
+            << error;
+        churn.disconnect();
+    }
+
+    // A client that stays connected is still tracked; the eight
+    // dead readers are reaped once they notice the disconnect.
+    ServeClient keeper;
+    ASSERT_TRUE(keeper.connect(options.socketPath, error)) << error;
+    // Wait for exactly one tracked session: the keeper accepted and
+    // every dead reader noticed its disconnect and got reaped.
+    for (int i = 0; i < 500 && server.sessionCount() != 1; ++i)
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    EXPECT_EQ(server.sessionCount(), 1u);
+
+    // And the keeper's session still works after the sweep.
+    ServeRequest request;
+    request.op = "cancel";
+    request.id = "nothing";
+    request.client = "reap";
+    ServeResponse response;
+    ASSERT_TRUE(keeper.call(request, response, error)) << error;
+    EXPECT_EQ(response.status, "ok");
 }
