@@ -34,7 +34,8 @@ runBenchmark(Benchmark bench, const SystemConfig &config, double scale,
     run.system->attachWorkload(std::make_unique<Workload>(spec));
     if (options.checkpointEverySeconds > 0) {
         run.system->setCheckpointPolicy(options.checkpointEverySeconds,
-                                        options.checkpointPath);
+                                        options.checkpointPath,
+                                        options.durability);
     }
     if (!options.restorePath.empty())
         run.system->restoreCheckpoint(options.restorePath);
@@ -43,6 +44,7 @@ runBenchmark(Benchmark bench, const SystemConfig &config, double scale,
     run.result = run.system->run();
     run.ticksExecuted =
         std::uint64_t(run.system->now()) - run.warmStartTick;
+    run.storageDegraded = run.system->checkpointingDegraded();
     if (!run.result.ok())
         warn(msg() << run.name << ": run ended early ("
                    << runOutcomeName(run.result.outcome) << "): "
@@ -110,7 +112,21 @@ usageText(const char *argv0)
                     "               restore=file.ckpt (restore "
                     "machine state before the run;\n"
                     "               single-run specs only, not with "
-                    "resume=1)";
+                    "resume=1),\n"
+                    "               durability=buffered|full "
+                    "(storage barrier discipline: full adds\n"
+                    "               fsync chains so acknowledged "
+                    "data survives a power cut)\n"
+                    "  fault keys: io_fault_seed=N, io_fault_rate=P "
+                    "(EIO), io_fault_enospc_rate=P,\n"
+                    "              io_fault_short_write_rate=P, "
+                    "io_fault_torn_rename_rate=P,\n"
+                    "              io_fault_crash_at_op=N (power "
+                    "cut after op N),\n"
+                    "              io_fault_enospc_after_bytes=N "
+                    "(disk full after N bytes);\n"
+                    "              deterministic host-I/O fault "
+                    "injection for durability testing";
 }
 
 bool

@@ -74,6 +74,14 @@ struct BenchmarkRun
     /** Ticks actually simulated in this process (now - start). */
     std::uint64_t ticksExecuted = 0;
 
+    /**
+     * True when the run's storage degraded mid-flight (an autosave
+     * failed and the run continued checkpoint-less). Like the
+     * warm-start fields, NOT part of the run's JSON document: the
+     * simulated results are unaffected, only durability was lost.
+     */
+    bool storageDegraded = false;
+
     /** True when live simulation state is attached. */
     bool hasData() const { return system != nullptr; }
 
@@ -110,6 +118,9 @@ struct RunOptions
      * generation (System::restoreCheckpoint).
      */
     std::string restorePath;
+
+    /** Durability level for checkpoint autosaves (see host_io.hh). */
+    Durability durability = Durability::Buffered;
 };
 
 /**

@@ -2,6 +2,7 @@
 
 #include <charconv>
 #include <cstdint>
+#include <fstream>
 #include <sstream>
 
 #include "sim/logging.hh"
@@ -174,11 +175,16 @@ journalPathFor(const std::string &json_path)
 }
 
 bool
-RunJournal::open(const std::string &path, bool truncate)
+RunJournal::open(const std::string &path, bool truncate,
+                 Durability journal_durability)
 {
     std::lock_guard<std::mutex> lock(mutex);
-    out.open(path, truncate ? std::ios::trunc : std::ios::app);
-    return out.is_open();
+    durability = journal_durability;
+    degradedFlag = false;
+    IoStatus status = out.open(path, truncate, durability);
+    if (!status)
+        out.close();
+    return out.isOpen();
 }
 
 void
@@ -199,11 +205,29 @@ RunJournal::append(const JournalEntry &entry)
         json.endObject();
     }
     std::lock_guard<std::mutex> lock(mutex);
-    if (!out.is_open())
+    if (degradedFlag)
+        return;  // Already degraded to non-durable; drop silently.
+    if (!out.isOpen())
         panic("RunJournal: append on a closed journal");
-    // One write + flush per entry: a killed sweep tears at most the
-    // final line, which load() detects and skips.
-    out << line.str() << '\n' << std::flush;
+    // One write (plus an fdatasync barrier under Durability::Full)
+    // per entry: a killed sweep tears at most the final line, which
+    // load() detects and skips, and under full durability an entry
+    // acknowledged here survives even a power cut.
+    IoStatus status = out.write(line.str() + '\n');
+    if (status)
+        status = out.flush();
+    if (status && durability == Durability::Full)
+        status = out.sync();
+    if (!status) {
+        // Structured degradation: the sweep stays alive and keeps
+        // producing results, it just stops being crash-resumable.
+        degradedFlag = true;
+        out.close();
+        warn(msg() << "journal: append failed; continuing in "
+                   << "non-durable mode (a crash from here on "
+                   << "re-executes unjournaled runs): "
+                   << status.message);
+    }
 }
 
 std::vector<JournalEntry>

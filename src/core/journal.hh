@@ -25,10 +25,11 @@
 #ifndef SOFTWATT_CORE_JOURNAL_HH
 #define SOFTWATT_CORE_JOURNAL_HH
 
-#include <fstream>
 #include <mutex>
 #include <string>
 #include <vector>
+
+#include "sim/host_io.hh"
 
 #include "runner.hh"
 
@@ -79,14 +80,31 @@ class RunJournal
     /**
      * Open @p path for appending; @p truncate discards previous
      * contents (a fresh, non-resumed experiment must not inherit
-     * stale entries). @return false if the file cannot be opened.
+     * stale entries). Under Durability::Full every append ends in an
+     * fdatasync barrier, so an acknowledged entry survives a power
+     * cut. @return false if the file cannot be opened.
      */
-    bool open(const std::string &path, bool truncate);
+    bool open(const std::string &path, bool truncate,
+              Durability durability = Durability::Buffered);
 
-    bool isOpen() const { return out.is_open(); }
+    bool isOpen() const { return out.isOpen(); }
 
-    /** Write one entry as a flushed JSONL line. */
+    /**
+     * Write one entry as a flushed JSONL line. A failed write
+     * degrades the journal to non-durable mode instead of dying:
+     * one structured warning is emitted, the file is closed, and
+     * every later append becomes a no-op — the sweep itself keeps
+     * running, it just loses crash-resumability from that point.
+     */
     void append(const JournalEntry &entry);
+
+    /** True once an append failure degraded the journal. */
+    bool
+    degraded() const
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        return degradedFlag;
+    }
 
     /**
      * Parse a journal file. Torn or unparseable lines (a crash can
@@ -108,8 +126,10 @@ class RunJournal
     loadLatest(const std::string &path);
 
   private:
-    std::ofstream out;
-    std::mutex mutex;
+    HostFile out;
+    Durability durability = Durability::Buffered;
+    bool degradedFlag = false;
+    mutable std::mutex mutex;
 };
 
 } // namespace softwatt

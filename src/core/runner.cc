@@ -63,6 +63,29 @@ boolFlag(const Config &args, const std::string &key)
     return value == 1;
 }
 
+double
+faultRate(const Config &args, const std::string &key)
+{
+    double value = args.getDouble(key, 0.0);
+    if (!(value >= 0.0) || value > 1.0) {
+        fatal(msg() << "config: " << key
+                    << " must be a probability in [0, 1] (got "
+                    << value << ")");
+    }
+    return value;
+}
+
+std::uint64_t
+faultCount(const Config &args, const std::string &key)
+{
+    std::int64_t value = args.getInt(key, 0);
+    if (value < 0) {
+        fatal(msg() << "config: " << key << " must be >= 0 (got "
+                    << value << "); 0 disables it");
+    }
+    return std::uint64_t(value);
+}
+
 } // namespace
 
 RunSpec &
@@ -103,6 +126,33 @@ ExperimentSpec::fromArgs(const std::string &title, const Config &args)
     spec.checkpointEveryS =
         nonNegativeSeconds(args, "checkpoint_every_s");
     spec.restorePath = args.getString("restore", "");
+
+    std::string durable = args.getString("durability", "buffered");
+    bool knownDurability = false;
+    spec.durability = durabilityFromName(durable, knownDurability);
+    if (!knownDurability) {
+        fatal(msg() << "config: durability must be 'buffered' or "
+                    << "'full' (got '" << durable << "')");
+    }
+
+    IoFaultPolicy &faults = spec.ioFaults;
+    faults.seed = faultCount(args, "io_fault_seed");
+    if (faults.seed == 0)
+        faults.seed = 1;
+    faults.errorRate = faultRate(args, "io_fault_rate");
+    faults.enospcRate = faultRate(args, "io_fault_enospc_rate");
+    faults.shortWriteRate =
+        faultRate(args, "io_fault_short_write_rate");
+    faults.tornRenameRate =
+        faultRate(args, "io_fault_torn_rename_rate");
+    faults.crashAtOp = faultCount(args, "io_fault_crash_at_op");
+    faults.enospcAfterBytes =
+        faultCount(args, "io_fault_enospc_after_bytes");
+    faults.enabled = faults.errorRate > 0 || faults.enospcRate > 0 ||
+                     faults.shortWriteRate > 0 ||
+                     faults.tornRenameRate > 0 ||
+                     faults.crashAtOp > 0 ||
+                     faults.enospcAfterBytes > 0;
     if (spec.resume && spec.jsonPath.empty()) {
         fatal("config: resume=1 requires out= (the resume journal "
               "lives next to the JSON document)");
@@ -534,6 +584,7 @@ runSpecProtected(const std::string &title, const RunSpec &spec,
     options.checkpointEverySeconds = spec.checkpointEveryS;
     options.checkpointPath = spec.checkpointPath;
     options.restorePath = spec.restorePath;
+    options.durability = spec.durability;
     try {
         if (!spec.injectFailure.empty())
             throw SimError(ErrorKind::Fatal, spec.injectFailure);
@@ -602,11 +653,17 @@ runExperiment(const ExperimentSpec &spec)
     ExperimentResult result;
     result.expTitle = spec.title;
 
+    // io_fault_* schedule, scoped to this experiment: journal
+    // appends, checkpoint autosaves and the final document write all
+    // feel it; it is removed again even on exception paths.
+    ScopedIoFaults faultScope(spec.ioFaults);
+
     // Fold the spec-level deadline/grace budgets into each run's
     // config up front, so the executed run, its fingerprint, and the
     // journal all see the same effective configuration.
     std::vector<RunSpec> runs = spec.runs;
     for (RunSpec &rs : runs) {
+        rs.durability = spec.durability;
         if (spec.deadlineS > 0.0 && rs.config.deadlineSeconds <= 0.0)
             rs.config.deadlineSeconds = spec.deadlineS;
         if (spec.graceS > 0.0 &&
@@ -677,7 +734,8 @@ runExperiment(const ExperimentSpec &spec)
 
     RunJournal journal;
     if (!journalPath.empty() &&
-        !journal.open(journalPath, /*truncate=*/!spec.resume)) {
+        !journal.open(journalPath, /*truncate=*/!spec.resume,
+                      spec.durability)) {
         fatal(msg() << "cannot open journal '" << journalPath
                     << "' for writing");
     }
@@ -783,14 +841,29 @@ runExperiment(const ExperimentSpec &spec)
                    << "recorded as cancelled");
     }
 
+    result.degradedStorage = journal.degraded();
+    for (const BenchmarkRun &run : result.results)
+        result.degradedStorage |= run.storageDegraded;
+
     if (!spec.jsonPath.empty()) {
-        std::ofstream out(spec.jsonPath);
-        if (!out)
-            fatal(msg() << "cannot open '" << spec.jsonPath
-                        << "' for writing");
-        result.writeJson(out);
-        status(msg() << "[" << spec.title << "] results written to "
-                     << spec.jsonPath);
+        std::ostringstream text;
+        result.writeJson(text);
+        IoStatus written = hostWriteFileAtomic(
+            spec.jsonPath, text.str(), spec.durability);
+        if (!written) {
+            // The computed results still live in the returned
+            // ExperimentResult (and possibly the journal); losing
+            // the document file is a degradation, not a sweep
+            // failure.
+            result.degradedStorage = true;
+            warn(msg() << "[" << spec.title << "] cannot write "
+                       << "results document (storage degraded): "
+                       << written.message);
+        } else {
+            status(msg() << "[" << spec.title
+                         << "] results written to "
+                         << spec.jsonPath);
+        }
     }
     return result;
 }

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "os/service.hh"
+#include "sim/host_io.hh"
 #include "sim/logging.hh"
 
 #include "experiment.hh"
@@ -58,6 +59,14 @@ struct RunSpec
     double checkpointEveryS = 0.0;
     std::string checkpointPath;
     std::string restorePath;
+
+    /**
+     * Durability level for this run's checkpoint autosaves (filled
+     * in from the spec-level setting). Excluded from the spec
+     * fingerprint: it changes how bytes reach the disk, never what
+     * the simulation computes.
+     */
+    Durability durability = Durability::Buffered;
 };
 
 /** Declarative description of a whole experiment. */
@@ -122,6 +131,22 @@ struct ExperimentSpec
     std::string restorePath;
 
     /**
+     * Durability contract for everything the runner persists (the
+     * resume journal, checkpoint autosaves, the JSON document).
+     * Buffered (default) survives SIGKILL; Full adds fsync barriers
+     * so acknowledged data also survives a power cut. See DESIGN.md
+     * §4k for the exact failure matrix.
+     */
+    Durability durability = Durability::Buffered;
+
+    /**
+     * Deterministic host-I/O fault schedule (io_fault_* keys),
+     * installed for the duration of runExperiment(). Testing and
+     * crash-consistency tooling only; all-zero injects nothing.
+     */
+    IoFaultPolicy ioFaults;
+
+    /**
      * Optional external cancel token (tests). When null the runner
      * uses an internal token; either way it is bridged to
      * SIGINT/SIGTERM for the duration of runExperiment().
@@ -139,8 +164,9 @@ struct ExperimentSpec
     /**
      * Spec primed from parsed command-line arguments: reads the
      * runner's own keys (jobs=N, out=path, deadline_s=T, grace_s=T,
-     * resume=0/1, diagnose=0/1, checkpoint_every_s=T, restore=path)
-     * so SystemConfig's unused-key check does not flag them. Values
+     * resume=0/1, diagnose=0/1, checkpoint_every_s=T, restore=path,
+     * durability=buffered|full, and the io_fault_* fault-injection
+     * keys) so SystemConfig's unused-key check does not flag them. Values
      * are range-checked here, the out= path is probed for
      * writability (open + unlink of a scratch file), and a restore=
      * file must already be readable, so a doomed sweep fails in
@@ -205,6 +231,15 @@ class ExperimentResult
     /** True when the experiment was cut short by SIGINT/SIGTERM. */
     bool interrupted() const { return wasInterrupted; }
 
+    /**
+     * True when any storage facility degraded during the sweep: the
+     * journal fell back to non-durable mode, a run continued
+     * checkpoint-less after a failed autosave, or the final document
+     * could not be written. The results themselves are complete —
+     * degradation is about durability, not correctness.
+     */
+    bool storageDegraded() const { return degradedStorage; }
+
     /** Runs that died inside the exception firewall. */
     std::size_t failedRuns() const;
 
@@ -230,6 +265,7 @@ class ExperimentResult
     std::string expTitle;
     int workerCount = 1;
     bool wasInterrupted = false;
+    bool degradedStorage = false;
     std::vector<RunSpec> specs;
     std::vector<BenchmarkRun> results;
 };

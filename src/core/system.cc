@@ -539,8 +539,8 @@ System::run()
         // uninterrupted run continues after the autosave. The squash
         // inside buildCheckpointImage() happens at the same tick in
         // every run with the same cadence, so trajectories match.
-        if (ckpt_interval && queue.now() >= next_ckpt &&
-            checkpointSafeNow()) {
+        if (ckpt_interval && !ckptDegraded &&
+            queue.now() >= next_ckpt && checkpointSafeNow()) {
             takeCheckpoint();
             next_ckpt = queue.now() + ckpt_interval;
         }
@@ -553,8 +553,10 @@ System::run()
 
 void
 System::setCheckpointPolicy(double every_seconds,
-                            const std::string &autosave_path)
+                            const std::string &autosave_path,
+                            Durability autosave_durability)
 {
+    ckptDurability = autosave_durability;
     if (!(every_seconds >= 0) || every_seconds > 1e18) {
         fatal(msg() << "checkpoint interval must be a finite value "
                     << ">= 0 seconds (got " << every_seconds
@@ -924,8 +926,22 @@ System::writeCheckpointNow(const std::string &path)
 void
 System::takeCheckpoint()
 {
-    autosaveCheckpoint(autosavePath, buildCheckpointImage());
-    ++numCheckpoints;
+    // Structured degradation: a failed autosave (ENOSPC, EIO, a
+    // torn rename chain) downgrades the run to checkpoint-less
+    // execution instead of killing a simulation that is otherwise
+    // healthy. The image-building squash already happened, so the
+    // trajectory up to this tick still matches other runs at the
+    // same cadence; further autosaves are disarmed because their
+    // squashes could no longer be paired with saved images.
+    try {
+        autosaveCheckpoint(autosavePath, buildCheckpointImage(),
+                           ckptDurability);
+        ++numCheckpoints;
+    } catch (const CheckpointError &err) {
+        ckptDegraded = true;
+        warn(msg() << "checkpoint autosave failed; continuing "
+                   << "checkpoint-less (degraded): " << err.what());
+    }
 }
 
 void

@@ -218,9 +218,24 @@ class System : public PowerMeter
      * between runs with the SAME checkpoint cadence: an interrupted
      * run restored from an autosave reproduces exactly the results
      * of an uninterrupted run with the same checkpoint_every_s.
+     *
+     * @p autosave_durability selects the write barrier discipline
+     * (Durability::Full = power-cut-safe fsync chains).
      */
-    void setCheckpointPolicy(double every_seconds,
-                             const std::string &autosave_path);
+    void setCheckpointPolicy(
+        double every_seconds, const std::string &autosave_path,
+        Durability autosave_durability = Durability::Buffered);
+
+    /**
+     * True once a checkpoint autosave failed and the run degraded to
+     * checkpoint-less execution. The simulation itself continues
+     * unaffected; only crash-resumability inside the run is lost.
+     * NOTE: a degraded run stops taking autosave squashes, so its
+     * trajectory is only bit-identical to other runs up to the
+     * failed autosave — which is why degradation is reported rather
+     * than silent.
+     */
+    bool checkpointingDegraded() const { return ckptDegraded; }
 
     /**
      * Restore machine state from a checkpoint file. Must be called
@@ -420,6 +435,8 @@ class System : public PowerMeter
 
     double checkpointEverySeconds = 0;
     std::string autosavePath;
+    Durability ckptDurability = Durability::Buffered;
+    bool ckptDegraded = false;
     bool restoredState = false;
     std::uint64_t numCheckpoints = 0;
 

@@ -19,16 +19,7 @@ namespace
 std::uint64_t
 fileBytes(const std::string &path)
 {
-    std::error_code ec;
-    std::uint64_t size = std::uint64_t(fs::file_size(path, ec));
-    return ec ? 0 : size;
-}
-
-void
-removeQuiet(const std::string &path)
-{
-    std::error_code ec;
-    fs::remove(path, ec);
+    return hostFileSize(path);
 }
 
 /** Parse a 16-hex-digit prefix; false when it is not one. */
@@ -55,8 +46,10 @@ parseKeyPrefix(const std::string &name, std::uint64_t &key)
 } // namespace
 
 CheckpointPool::CheckpointPool(std::string directory,
-                               std::uint64_t budget_bytes)
-    : dir(std::move(directory)), budget(budget_bytes)
+                               std::uint64_t budget_bytes,
+                               Durability pool_durability)
+    : dir(std::move(directory)), budget(budget_bytes),
+      durability(pool_durability)
 {
 }
 
@@ -148,17 +141,20 @@ CheckpointPool::recover()
         // The newest generation is gone: the survivor becomes the
         // pool slot again when it verifies, and is deleted when torn
         // (or the pool runs in scratch mode).
-        std::error_code rc;
         if (budget > 0 && verifies(path)) {
-            fs::rename(path, poolPath(key), rc);
-            if (!rc) {
+            IoStatus moved = hostRename(path, poolPath(key),
+                                        durability);
+            if (moved) {
                 lru.push_back(key);
                 refreshSizeLocked(key);
                 ++promoted;
                 continue;
             }
+            warn(msg() << "checkpoint pool: cannot restore rotated "
+                       << "generation '" << path
+                       << "': " << moved.message);
         }
-        removeQuiet(path);
+        hostRemoveBestEffort(path);
     }
 
     for (const auto &[key, path] : orphans) {
@@ -173,22 +169,38 @@ CheckpointPool::recover()
             usable = fileBytes(candidate) > 0 && verifies(candidate);
         }
         if (!usable || budget == 0) {
-            removeQuiet(path);
-            removeQuiet(checkpointPreviousGeneration(path));
+            hostRemoveBestEffort(path);
+            hostRemoveBestEffort(checkpointPreviousGeneration(path));
             continue;
         }
         std::string pool = poolPath(key);
-        std::error_code rc;
-        if (fs::exists(pool))
-            fs::rename(pool, checkpointPreviousGeneration(pool), rc);
-        fs::rename(candidate, pool, rc);
-        if (rc) {
-            removeQuiet(path);
-            removeQuiet(checkpointPreviousGeneration(path));
+        // Each rename is checked on its own: the rotation failing
+        // must not be masked by the promote succeeding (or vice
+        // versa), and a failed promote leaves the slot's previous
+        // contents — already budgeted above — untouched.
+        if (hostFileExists(pool)) {
+            IoStatus rotated = hostRename(
+                pool, checkpointPreviousGeneration(pool),
+                durability);
+            if (!rotated) {
+                warn(msg() << "checkpoint pool: cannot rotate '"
+                           << pool << "' for orphan promotion: "
+                           << rotated.message);
+                hostRemoveBestEffort(path);
+                hostRemoveBestEffort(
+                    checkpointPreviousGeneration(path));
+                continue;
+            }
+        }
+        IoStatus moved = hostRename(candidate, pool, durability);
+        hostRemoveBestEffort(path);
+        hostRemoveBestEffort(checkpointPreviousGeneration(path));
+        if (!moved) {
+            warn(msg() << "checkpoint pool: cannot promote orphan '"
+                       << candidate << "': " << moved.message);
+            refreshSizeLocked(key);
             continue;
         }
-        removeQuiet(path);
-        removeQuiet(checkpointPreviousGeneration(path));
         touchLocked(key);
         refreshSizeLocked(key);
         ++promoted;
@@ -197,7 +209,7 @@ CheckpointPool::recover()
     // rotated generations that remain (strays whose newest image was
     // promoted directly, or whose base vanished entirely).
     for (const std::string &path : rotated)
-        removeQuiet(path);
+        hostRemoveBestEffort(path);
     enforceBudgetLocked();
     if (promoted > 0) {
         inform(msg() << "checkpoint pool: promoted " << promoted
@@ -243,23 +255,42 @@ CheckpointPool::promote(std::uint64_t key,
     std::string previous =
         checkpointPreviousGeneration(inflight_path);
     if (budget == 0 || fileBytes(inflight_path) == 0) {
-        removeQuiet(inflight_path);
-        removeQuiet(previous);
+        hostRemoveBestEffort(inflight_path);
+        hostRemoveBestEffort(previous);
         return false;
     }
     std::string pool = poolPath(key);
-    std::error_code ec;
-    if (fs::exists(pool))
-        fs::rename(pool, checkpointPreviousGeneration(pool), ec);
-    fs::rename(inflight_path, pool, ec);
-    if (ec) {
+    // The rotate and the promote are checked separately: the old
+    // code funneled both renames through one error_code, so a failed
+    // rotation was silently overwritten by a successful promote —
+    // destroying the generation the fallback path depends on — and a
+    // failed promote could strand the in-flight file while the entry
+    // was still indexed.
+    if (hostFileExists(pool)) {
+        IoStatus rotated = hostRename(
+            pool, checkpointPreviousGeneration(pool), durability);
+        if (!rotated) {
+            warn(msg() << "checkpoint pool: cannot rotate '" << pool
+                       << "': " << rotated.message
+                       << " (keeping the existing image)");
+            hostRemoveBestEffort(inflight_path);
+            hostRemoveBestEffort(previous);
+            refreshSizeLocked(key);
+            return false;
+        }
+    }
+    IoStatus moved = hostRename(inflight_path, pool, durability);
+    if (!moved) {
         warn(msg() << "checkpoint pool: cannot promote "
-                   << inflight_path << ": " << ec.message());
-        removeQuiet(inflight_path);
-        removeQuiet(previous);
+                   << inflight_path << ": " << moved.message);
+        hostRemoveBestEffort(inflight_path);
+        hostRemoveBestEffort(previous);
+        // The slot may now hold only the rotated generation; re-stat
+        // so the index never points at files that are not there.
+        refreshSizeLocked(key);
         return false;
     }
-    removeQuiet(previous);
+    hostRemoveBestEffort(previous);
     touchLocked(key);
     refreshSizeLocked(key);
     enforceBudgetLocked();
@@ -269,8 +300,8 @@ CheckpointPool::promote(std::uint64_t key,
 void
 CheckpointPool::discard(const std::string &inflight_path)
 {
-    removeQuiet(inflight_path);
-    removeQuiet(checkpointPreviousGeneration(inflight_path));
+    hostRemoveBestEffort(inflight_path);
+    hostRemoveBestEffort(checkpointPreviousGeneration(inflight_path));
 }
 
 std::uint64_t
@@ -330,8 +361,8 @@ CheckpointPool::enforceBudgetLocked()
         lru.pop_back();
         std::uint64_t size = sizes[victim];
         std::string path = poolPath(victim);
-        removeQuiet(path);
-        removeQuiet(checkpointPreviousGeneration(path));
+        hostRemoveBestEffort(path);
+        hostRemoveBestEffort(checkpointPreviousGeneration(path));
         sizes.erase(victim);
         used -= size;
         ++evicted;

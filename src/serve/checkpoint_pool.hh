@@ -34,6 +34,8 @@
 #include <mutex>
 #include <string>
 
+#include "sim/host_io.hh"
+
 namespace softwatt::serve
 {
 
@@ -46,8 +48,11 @@ class CheckpointPool
      * @param directory Pool directory (created by the caller).
      * @param budget_bytes LRU size budget; 0 = scratch mode (retain
      *        nothing, always miss).
+     * @param pool_durability Durability::Full makes promote/rotate
+     *        renames power-cut safe (fsync'd parent directory).
      */
-    CheckpointPool(std::string directory, std::uint64_t budget_bytes);
+    CheckpointPool(std::string directory, std::uint64_t budget_bytes,
+                   Durability pool_durability = Durability::Buffered);
 
     CheckpointPool(const CheckpointPool &) = delete;
     CheckpointPool &operator=(const CheckpointPool &) = delete;
@@ -110,6 +115,7 @@ class CheckpointPool
 
     std::string dir;
     std::uint64_t budget;
+    Durability durability;
     std::uint64_t inflightSeq = 0;
     std::uint64_t evicted = 0;
 

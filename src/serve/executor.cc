@@ -107,6 +107,7 @@ executeServeSpec(RunSpec spec, const ServeExecOptions &options,
             spec.checkpointEveryS = options.warmEveryS;
             spec.checkpointPath = inflight;
             spec.restorePath = options.pool->lookup(key);
+            spec.durability = options.durability;
             armed = true;
         } catch (const std::exception &e) {
             // Fingerprinting constructs the machine; a config the
@@ -153,8 +154,12 @@ executeServeSpec(RunSpec spec, const ServeExecOptions &options,
     }
 
     if (armed) {
+        // A degraded run stopped autosaving mid-flight; whatever its
+        // in-flight image holds predates the failure, so discard it
+        // rather than warm future jobs from a doubtful file.
         if (result.run.hasData() &&
-            result.run.result.outcome != RunOutcome::Failed)
+            result.run.result.outcome != RunOutcome::Failed &&
+            !result.run.storageDegraded)
             options.pool->promote(key, inflight);
         else
             options.pool->discard(inflight);
@@ -165,6 +170,7 @@ executeServeSpec(RunSpec spec, const ServeExecOptions &options,
     result.warmStarted = result.run.warmStarted;
     result.warmStartTick = result.run.warmStartTick;
     result.ticksExecuted = result.run.ticksExecuted;
+    result.storageDegraded = result.run.storageDegraded;
     result.runJson = renderRunJson(result.run);
     return result;
 }

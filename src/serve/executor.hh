@@ -54,6 +54,9 @@ struct ServeExecOptions
 
     /** Warm image pool; null disables checkpointing like warmEveryS=0. */
     CheckpointPool *pool = nullptr;
+
+    /** Durability level for in-flight autosaves (see host_io.hh). */
+    Durability durability = Durability::Buffered;
 };
 
 /** Everything the daemon needs to answer for one executed job. */
@@ -70,6 +73,11 @@ struct ServeExecResult
     bool warmStarted = false;
     std::uint64_t warmStartTick = 0;
     std::uint64_t ticksExecuted = 0;
+
+    /** True when the run's storage degraded mid-flight (failed
+     *  autosave -> checkpoint-less execution); surfaced in the
+     *  response envelope's degraded flag. */
+    bool storageDegraded = false;
 };
 
 /**

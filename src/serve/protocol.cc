@@ -82,6 +82,7 @@ renderServeResponse(const ServeResponse &response)
         json.member("warm_start_tick", response.warmStartTick);
         json.member("ticks_executed", response.ticksExecuted);
         json.member("attempts", response.attempts);
+        json.member("degraded", response.degraded ? 1 : 0);
         json.member("document", response.document);
         json.endObject();
     }
@@ -123,6 +124,9 @@ parseServeResponse(const std::string &line, ServeResponse &out,
         out.ticksExecuted = 0;
     if (!jsonExtractInt(line, "attempts", out.attempts))
         out.attempts = 0;
+    int degraded = 0;
+    out.degraded = jsonExtractInt(line, "degraded", degraded) &&
+                   degraded != 0;
     if (!jsonExtractString(line, "document", out.document))
         out.document.clear();
     return true;

@@ -91,6 +91,16 @@ struct ServeResponse
     /** Executor attempts consumed (retries + 1). */
     int attempts = 0;
 
+    /**
+     * True when the daemon's storage degraded while serving this
+     * job: the answer journal fell back to non-durable mode, or the
+     * run continued checkpoint-less after a failed autosave. The
+     * answer itself is complete and correct; it may just not survive
+     * a daemon restart. SmartWatts-style self-monitoring: degrade
+     * and report rather than fail.
+     */
+    bool degraded = false;
+
     /** Complete softwatt-experiment-v2 document; "" on failure. */
     std::string document;
 };

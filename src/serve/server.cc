@@ -66,6 +66,13 @@ ServeOptions::fromConfig(const Config &args)
     std::int64_t retries = args.getInt("serve_retries", 1);
     std::int64_t backoffMs = args.getInt("serve_backoff_ms", 100);
     options.wallTimeoutS = args.getDouble("serve_wall_timeout_s", 0.0);
+    std::string durable = args.getString("durability", "buffered");
+    bool knownDurability = false;
+    options.durability = durabilityFromName(durable, knownDurability);
+    if (!knownDurability) {
+        fatal(msg() << "config: durability must be 'buffered' or "
+                    << "'full' (got '" << durable << "')");
+    }
 
     if (options.socketPath.empty())
         fatal("config: serve_socket= (unix socket path) is required");
@@ -104,7 +111,8 @@ ServeOptions::fromConfig(const Config &args)
 ServeServer::ServeServer(ServeOptions options)
     : opts(std::move(options)),
       poolStore(opts.statePath + "/pool",
-                std::uint64_t(opts.poolMb * 1024.0 * 1024.0)),
+                std::uint64_t(opts.poolMb * 1024.0 * 1024.0),
+                opts.durability),
       queue(opts.queueMax)
 {
 }
@@ -160,7 +168,8 @@ ServeServer::start(std::string &error)
                           entry.variant, entry.config)] =
             Answer{entry.runJson, entry.attempts, entry.outcome};
     }
-    if (!journal.open(journalPath(), /*truncate=*/false)) {
+    if (!journal.open(journalPath(), /*truncate=*/false,
+                      opts.durability)) {
         error = msg() << "cannot open service journal '"
                       << journalPath() << "'";
         return false;
@@ -491,6 +500,7 @@ ServeServer::executeJob(const JobPtr &job)
         policy.backoffMs = opts.backoffMs;
         policy.warmEveryS = opts.warmS;
         policy.pool = &poolStore;
+        policy.durability = opts.durability;
         ServeExecResult done =
             executeServeSpec(job->spec, policy, job->cancel);
         executed.fetch_add(1);
@@ -502,6 +512,11 @@ ServeServer::executeJob(const JobPtr &job)
         response.warmStart = done.warmStarted;
         response.warmStartTick = done.warmStartTick;
         response.ticksExecuted = done.ticksExecuted;
+        // Self-monitoring posture: a response computed fine but
+        // whose durability machinery failed mid-flight says so,
+        // instead of pretending the answer will survive a restart.
+        response.degraded =
+            done.storageDegraded || journal.degraded();
         RunOutcome outcome = done.run.result.outcome;
         if (outcome == RunOutcome::Failed) {
             response.status = statusFailed;
@@ -529,6 +544,9 @@ ServeServer::executeJob(const JobPtr &job)
                 journal.append(entry);
             }
         }
+        // The append above may itself have degraded the journal;
+        // this job's answer is then NOT durable and must say so.
+        response.degraded |= journal.degraded();
     }
 
     eraseLive(job);

@@ -82,6 +82,14 @@ struct ServeOptions
     double wallTimeoutS = 0.0;
 
     /**
+     * durability=: barrier discipline for the answer journal and
+     * the pool's promote chains. Buffered (default) survives
+     * SIGKILL; full also survives a power cut (fdatasync per
+     * journal append, fsync'd rename chains).
+     */
+    Durability durability = Durability::Buffered;
+
+    /**
      * Read and range-check every serve_* key; fatal() on nonsense
      * (missing socket/state paths, negative budgets).
      */

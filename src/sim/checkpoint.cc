@@ -1,6 +1,5 @@
 #include "sim/checkpoint.hh"
 
-#include <cstdio>
 #include <cstring>
 #include <fstream>
 
@@ -165,7 +164,7 @@ CheckpointImage::find(const std::string &name) const
 
 void
 writeCheckpoint(const std::string &path,
-                const CheckpointImage &image)
+                const CheckpointImage &image, Durability durability)
 {
     std::string bytes;
     bytes.append(checkpointMagic, sizeof(checkpointMagic));
@@ -186,26 +185,15 @@ writeCheckpoint(const std::string &path,
             chunk.payload.size());
     }
 
-    std::string tmp = path + ".tmp";
-    {
-        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-        if (!out) {
-            throw CheckpointError(
-                msg() << "checkpoint: cannot open '" << tmp
-                      << "' for writing");
-        }
-        out.write(bytes.data(),
-                  std::streamsize(bytes.size()));
-        out.flush();
-        if (!out) {
-            throw CheckpointError(msg() << "checkpoint: short write "
-                                        << "to '" << tmp << "'");
-        }
-    }
-    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-        throw CheckpointError(msg()
-                              << "checkpoint: cannot rename '" << tmp
-                              << "' to '" << path << "'");
+    // Temp-then-rename through the host-I/O seam: under
+    // Durability::Full the temp file is fsynced before the rename
+    // and the parent directory afterwards, so a power cut can never
+    // leave a zero-length or torn file under the final name.
+    IoStatus status = hostWriteFileAtomic(path, bytes, durability);
+    if (!status) {
+        throw CheckpointError(msg() << "checkpoint: cannot write '"
+                                    << path
+                                    << "': " << status.message);
     }
 }
 
@@ -217,21 +205,27 @@ checkpointPreviousGeneration(const std::string &path)
 
 void
 autosaveCheckpoint(const std::string &path,
-                   const CheckpointImage &image)
+                   const CheckpointImage &image,
+                   Durability durability)
 {
     // Rotate the current file to the previous generation first; the
     // write itself goes through tmp+rename, so at every instant at
-    // least one complete generation exists on disk.
+    // least one complete generation exists on disk. A rotation
+    // failure is survivable — the overwrite still lands atomically,
+    // the pool just keeps a single generation for this cycle — so
+    // warn instead of failing the autosave.
     std::string previous = checkpointPreviousGeneration(path);
-    if (std::ifstream(path).good()) {
-        std::remove(previous.c_str());
-        if (std::rename(path.c_str(), previous.c_str()) != 0) {
-            throw CheckpointError(
-                msg() << "checkpoint: cannot rotate '" << path
-                      << "' to '" << previous << "'");
+    if (hostFileExists(path)) {
+        hostRemoveBestEffort(previous);
+        IoStatus rotated = hostRename(path, previous, durability);
+        if (!rotated) {
+            warn(msg() << "checkpoint: cannot rotate '" << path
+                       << "' to '" << previous
+                       << "' (keeping a single generation): "
+                       << rotated.message);
         }
     }
-    writeCheckpoint(path, image);
+    writeCheckpoint(path, image, durability);
 }
 
 CheckpointImage

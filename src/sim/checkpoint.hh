@@ -38,6 +38,8 @@
 #include <string>
 #include <vector>
 
+#include "sim/host_io.hh"
+
 namespace softwatt
 {
 
@@ -210,20 +212,28 @@ struct CheckpointImage
 /**
  * Serialize @p image to @p path atomically: the bytes are written to
  * "<path>.tmp" and renamed over @p path, so a crash mid-write never
- * leaves a half-written file under the final name. Throws
- * CheckpointError on I/O failure.
+ * leaves a half-written file under the final name. Under
+ * Durability::Full the temp file is fsynced before the rename and
+ * the parent directory after it, so the image also survives a power
+ * cut. Throws CheckpointError on I/O failure (the temp file is
+ * cleaned up and @p path keeps its previous complete contents).
  */
 void writeCheckpoint(const std::string &path,
-                     const CheckpointImage &image);
+                     const CheckpointImage &image,
+                     Durability durability = Durability::Buffered);
 
 /**
  * Autosave @p image to @p path keeping the last two generations:
  * the previous @p path (if any) is rotated to "<path>.1" before the
  * atomic write, so a crash — or corruption of the newest file — can
- * always fall back one generation.
+ * always fall back one generation. A failed rotation is survivable
+ * (warn and overwrite in place, keeping a single generation); a
+ * failed write throws CheckpointError with the prior generation
+ * still intact on disk.
  */
 void autosaveCheckpoint(const std::string &path,
-                        const CheckpointImage &image);
+                        const CheckpointImage &image,
+                        Durability durability = Durability::Buffered);
 
 /** The older-generation autosave path for @p path ("<path>.1"). */
 std::string checkpointPreviousGeneration(const std::string &path);

@@ -336,6 +336,72 @@ TEST(Analyze, AllowsDownwardAndSameLayerIncludes)
     EXPECT_TRUE(withRule(findings, "layer-dag").empty());
 }
 
+TEST(Analyze, FlagsSeamBypassInDurabilityFile)
+{
+    const char *source = R"(
+#include <cstdio>
+void rotate(const std::string &path, const std::string &prev)
+{
+    std::rename(path.c_str(), prev.c_str());
+    std::ofstream out(path);
+}
+)";
+    auto findings = run({{"src/core/journal.cc", source}});
+    auto durability = withRule(findings, "durability-io");
+    ASSERT_EQ(durability.size(), 2u);
+    EXPECT_EQ(durability[0].line, 5);  // the std::rename call
+    EXPECT_NE(durability[0].message.find("hostRename"),
+              std::string::npos);
+    EXPECT_EQ(durability[1].line, 6);  // the ofstream write channel
+    EXPECT_NE(durability[1].message.find("HostFile"),
+              std::string::npos);
+}
+
+TEST(Analyze, SeamBypassIgnoresNonDurabilityFilesAndReads)
+{
+    // Raw primitives outside the declared durability set are fine
+    // (runner.cc's writability probe), and std::ifstream reads never
+    // match the ofstream needle.
+    auto findings =
+        run({{"src/core/runner.cc",
+              "void probe() { std::ofstream out(\"x\"); }\n"},
+             {"src/core/journal.cc",
+              "void load() { std::ifstream in(\"x\"); }\n"}});
+    EXPECT_TRUE(withRule(findings, "durability-io").empty());
+}
+
+TEST(Analyze, FlagsDiscardedIoStatus)
+{
+    const char *source = R"(
+void cleanup(const std::string &tmp, const std::string &path)
+{
+    hostRename(tmp, path, Durability::Full);
+}
+)";
+    auto findings = run({{"src/serve/widget.cc", source}});
+    auto durability = withRule(findings, "durability-io");
+    ASSERT_EQ(durability.size(), 1u);
+    EXPECT_EQ(durability[0].path, "src/serve/widget.cc");
+    EXPECT_EQ(durability[0].line, 4);
+    EXPECT_NE(durability[0].message.find("IoStatus"),
+              std::string::npos);
+}
+
+TEST(Analyze, CheckedIoStatusAndBestEffortCleanupPass)
+{
+    const char *source = R"(
+bool swap(const std::string &tmp, const std::string &path)
+{
+    IoStatus moved = hostRename(tmp, path, Durability::Full);
+    if (!moved)
+        hostRemoveBestEffort(tmp);
+    return moved.ok;
+}
+)";
+    auto findings = run({{"src/serve/widget.cc", source}});
+    EXPECT_TRUE(withRule(findings, "durability-io").empty());
+}
+
 TEST(Analyze, LayerDagMatchesDesignDoc)
 {
     // The graph is acyclic and sim is its bottom.

@@ -5,7 +5,9 @@
  * bytes are damaged in targeted ways (truncated chunk, leftover
  * payload bytes, flipped checksum, bad magic, version skew), and
  * each corruption class must surface as the documented exception —
- * plus `softwatt-ckpt` must exit 1 on the same files.
+ * plus `softwatt-ckpt` must exit 1 on the same files, and 2 (the
+ * "not even bytes to parse" verdict) on missing or zero-length
+ * images such as the stubs a torn rename leaves behind.
  */
 
 #include <gtest/gtest.h>
@@ -178,7 +180,25 @@ TEST_F(CkptErrorsTest, MissingFile)
 {
     EXPECT_THROW(softwatt::readCheckpoint(path("nope.ckpt")),
                  CheckpointError);
-    EXPECT_EQ(runCkptTool(path("nope.ckpt")), 1);
+    // Distinct verdict: nothing to parse is exit 2, not exit 1.
+    EXPECT_EQ(runCkptTool(path("nope.ckpt")), 2);
+}
+
+TEST_F(CkptErrorsTest, ZeroLengthStubIsDistinctFromCorruption)
+{
+    // The stub a torn rename leaves at the destination: present but
+    // zero bytes. The tool must call it EMPTY (exit 2) rather than
+    // lumping it in with corruption, and worst-wins aggregation
+    // must surface the 2 even when a good file is also listed.
+    writeBytes("stub.ckpt", {});
+    EXPECT_THROW(softwatt::readCheckpoint(path("stub.ckpt")),
+                 CheckpointError);
+    EXPECT_EQ(runCkptTool(path("stub.ckpt")), 2);
+
+    writeAndSlurp("good.ckpt");
+    EXPECT_EQ(runCkptTool(path("good.ckpt") + "\" \"" +
+                          path("stub.ckpt")),
+              2);
 }
 
 TEST_F(CkptErrorsTest, ReaderOverrunThrows)

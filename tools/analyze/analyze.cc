@@ -782,6 +782,123 @@ usageTextBody(const FileData &file)
     return std::nullopt;
 }
 
+// ---------------------------------------------------------------
+// durability-io: the host-I/O seam must see every durable byte.
+// ---------------------------------------------------------------
+
+// Files that own a durability path: every byte they persist must
+// flow through the host-I/O seam (sim/host_io.hh) so fault
+// injection, op recording and the crash-replay harness see it
+// (DESIGN.md §4k). runner.cc is deliberately absent: its
+// pre-sweep writability probe opens a throwaway std::ofstream on
+// purpose, before any durable state exists.
+const std::set<std::string> &
+durabilityFiles()
+{
+    static const std::set<std::string> files = {
+        "src/sim/checkpoint.cc",
+        "src/core/journal.cc",
+        "src/core/system.cc",
+        "src/serve/checkpoint_pool.cc",
+    };
+    return files;
+}
+
+void
+scanDurabilityIo(const FileData &file,
+                 std::vector<Finding> &findings)
+{
+    if (file.path.compare(0, 4, "src/") != 0)
+        return;
+    if (file.path.compare(0, 15, "src/sim/host_io") == 0)
+        return;  // the seam itself wraps the raw primitives
+    const std::string &masked = file.masked;
+
+    if (durabilityFiles().count(file.path)) {
+        // Raw qualified ::rename()/::remove() calls (std:: or
+        // fs::) dodge fault injection and the op log entirely.
+        for (const std::string &raw : {std::string("rename"),
+                                       std::string("remove")}) {
+            std::size_t pos = 0;
+            while ((pos = findWord(masked, raw, pos)) !=
+                   std::string::npos) {
+                std::size_t at = pos;
+                pos += raw.size();
+                if (at < 2 || masked[at - 1] != ':' ||
+                    masked[at - 2] != ':')
+                    continue;
+                std::size_t paren = skipWs(masked, at + raw.size());
+                if (paren >= masked.size() || masked[paren] != '(')
+                    continue;
+                findings.push_back(
+                    {file.path, lineOfOffset(masked, at),
+                     "durability-io",
+                     "raw ::" + raw +
+                         "() call in a durability path bypasses "
+                         "the host-I/O seam; use hostRename/"
+                         "hostRemove (sim/host_io.hh) so fault "
+                         "injection and crash replay see the "
+                         "operation"});
+            }
+        }
+        // Direct write channels: anything persisted through an
+        // ofstream or FILE* is invisible to the seam.
+        for (const std::string &raw : {std::string("ofstream"),
+                                       std::string("fopen")}) {
+            std::size_t pos = 0;
+            while ((pos = findWord(masked, raw, pos)) !=
+                   std::string::npos) {
+                findings.push_back(
+                    {file.path, lineOfOffset(masked, pos),
+                     "durability-io",
+                     raw +
+                         " in a durability path bypasses the "
+                         "host-I/O seam; write through HostFile or "
+                         "hostWriteFileAtomic (sim/host_io.hh)"});
+                pos += raw.size();
+            }
+        }
+    }
+
+    // Discarded IoStatus anywhere in src/: a seam call in
+    // statement position throws the error away, so a failed
+    // rename/remove strands files silently instead of degrading
+    // loudly. hostRemoveBestEffort is the sanctioned discard for
+    // cleanup of files that may not exist.
+    static const char *const seamCalls[] = {
+        "hostWriteFileAtomic", "hostRename", "hostRemove",
+        "hostSyncDir"};
+    for (const char *callName : seamCalls) {
+        const std::string call = callName;
+        std::size_t pos = 0;
+        while ((pos = findWord(masked, call, pos)) !=
+               std::string::npos) {
+            std::size_t at = pos;
+            pos += call.size();
+            if (at + call.size() >= masked.size() ||
+                masked[at + call.size()] != '(')
+                continue;  // a mention, not a call site
+            std::size_t back = at;
+            while (back > 0 &&
+                   std::isspace(static_cast<unsigned char>(
+                       masked[back - 1])))
+                --back;
+            char prev = back == 0 ? ';' : masked[back - 1];
+            if (prev != ';' && prev != '{' && prev != '}' &&
+                prev != ')')
+                continue;  // value is assigned, tested or returned
+            findings.push_back(
+                {file.path, lineOfOffset(masked, at),
+                 "durability-io",
+                 "the IoStatus returned by " + call +
+                     "() is discarded; check it (or use "
+                     "hostRemoveBestEffort for sanctioned cleanup) "
+                     "so durability failures degrade loudly "
+                     "instead of stranding files"});
+        }
+    }
+}
+
 } // namespace
 
 const std::map<std::string, std::set<std::string>> &
@@ -900,6 +1017,9 @@ analyzeSources(const AnalyzerInput &input)
             scanConfigKeys(file, keySites);
         if (!usageText)
             usageText = usageTextBody(file);
+
+        // --- durability-io -------------------------------------
+        scanDurabilityIo(file, findings);
     }
 
     // --- checkpoint-coverage -----------------------------------

@@ -39,6 +39,17 @@
  *                         (sim at the bottom; core at the top; no
  *                         power->os edges and the like).
  *
+ *   durability-io         Durability-owning files (checkpoint,
+ *                         journal, pool, system autosave) must not
+ *                         bypass the host-I/O seam with raw
+ *                         ::rename()/::remove(), ofstream or fopen;
+ *                         and anywhere in src/, the IoStatus
+ *                         returned by hostWriteFileAtomic/
+ *                         hostRename/hostRemove/hostSyncDir must
+ *                         not be discarded in statement position
+ *                         (hostRemoveBestEffort is the sanctioned
+ *                         discard for may-not-exist cleanup).
+ *
  * The parser is deliberately lightweight — no preprocessor, no real
  * C++ grammar — but declaration-aware enough for this codebase's
  * house style; it shares the masking/suppression substrate in

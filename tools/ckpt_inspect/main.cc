@@ -20,8 +20,12 @@
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
+#include <system_error>
 
 #include "sim/checkpoint.hh"
+
+namespace fs = std::filesystem;
 
 namespace
 {
@@ -113,9 +117,35 @@ printPowerChunk(const softwatt::CheckpointChunk &chunk)
     }
 }
 
+/**
+ * Per-file verdicts, ordered so the process exit code can take the
+ * worst across all arguments: 0 verified, 1 parse failure (corrupt
+ * or incompatible bytes), 2 not even bytes to parse — missing,
+ * unreadable, or a zero-length stub. The distinction matters to
+ * scripts: exit 2 on a pool directory usually means a torn rename
+ * or crashed writer left a placeholder, not that a checkpoint went
+ * bad, and the remedy (delete the stub, let recovery fall back) is
+ * different from a corruption investigation.
+ */
 int
 inspect(const char *path)
 {
+    std::error_code ec;
+    std::uintmax_t size = fs::file_size(path, ec);
+    if (ec) {
+        std::fprintf(stderr, "%s: UNREADABLE: %s\n", path,
+                     ec.message().c_str());
+        return 2;
+    }
+    if (size == 0) {
+        std::fprintf(stderr,
+                     "%s: EMPTY: zero-length image (a torn rename "
+                     "or crashed writer left a stub; remove it and "
+                     "rely on the previous generation)\n",
+                     path);
+        return 2;
+    }
+
     softwatt::CheckpointImage image;
     try {
         image = softwatt::readCheckpoint(path);
@@ -175,13 +205,15 @@ main(int argc, char **argv)
             "usage: %s <checkpoint.ckpt> [more.ckpt ...]\n"
             "  Verify and dump SoftWatt machine checkpoints: header,\n"
             "  chunk table with sizes and FNV-1a-64 checksums.\n"
-            "  Exits 1 if any file is corrupt or incompatible.\n",
+            "  Exits 1 if any file is corrupt or incompatible, 2 if\n"
+            "  any is missing, unreadable, or a zero-length stub\n"
+            "  (worst verdict across all files wins).\n",
             argv[0]);
-        return argc < 2 ? 1 : 0;
+        return argc < 2 ? 2 : 0;
     }
 
-    int failures = 0;
+    int worst = 0;
     for (int i = 1; i < argc; ++i)
-        failures += inspect(argv[i]);
-    return failures > 0 ? 1 : 0;
+        worst = std::max(worst, inspect(argv[i]));
+    return worst;
 }

@@ -195,6 +195,8 @@ main(int argc, char **argv)
                   << " warm_start=" << (response.warmStart ? 1 : 0)
                   << " warm_start_tick=" << response.warmStartTick
                   << " ticks_executed=" << response.ticksExecuted;
+        if (response.degraded)
+            std::cerr << " degraded=1";
         if (!response.error.empty())
             std::cerr << " error=\"" << response.error << "\"";
         std::cerr << "\n";
